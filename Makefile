@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench paper fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+paper:
+	$(GO) run ./cmd/paperbench
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/isa
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTables(t *testing.T) {
+	var b strings.Builder
+	if err := realMain([]string{"-table", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "No State Change", "32", "68"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := realMain([]string{"-table", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{"Table 2", "Redundant Writes", "61"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for _, fig := range []string{"3", "4", "5"} {
+		var b strings.Builder
+		if err := realMain([]string{"-figure", fig}, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "Figure "+fig) {
+			t.Errorf("figure %s header missing", fig)
+		}
+		if !strings.Contains(b.String(), "#") {
+			t.Errorf("figure %s has no bars", fig)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := realMain([]string{"-nonsense"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestPerfAndFullOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var b strings.Builder
+	if err := realMain([]string{"-perf"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Performance", "bits/instr", "native execution", "replay classification"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("perf output missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := realMain(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5",
+		"Performance", "Ablations", "unique races: 68",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full output missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownFlag(t *testing.T) {
+	var b strings.Builder
+	if err := realMain([]string{"-md"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "## Table 1") || !strings.Contains(b.String(), "| **Total** |") {
+		t.Errorf("markdown output incomplete")
+	}
+}

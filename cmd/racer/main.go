@@ -1,0 +1,553 @@
+// Command racer is the CLI front end for the replay-based race
+// classification pipeline:
+//
+//	racer run <prog.rasm>            run a program natively
+//	racer record <prog.rasm> -o L    record an execution into a replay log
+//	racer replay <L>                 replay a log and show per-thread output
+//	racer detect <L>                 find data races (happens-before)
+//	racer classify <L>               classify races by dual-order replay
+//	racer scenario -name exec01      analyze a built-in workload scenario
+//	racer suite                      analyze all 18 scenarios and summarize
+//	racer mark-benign -db F -race R  record a developer triage verdict
+//	racer disasm <prog.rasm>         disassemble a program
+//	racer scenarios                  list the built-in workload scenarios
+//
+// Every subcommand takes -seed to pick the scheduler interleaving; equal
+// seeds reproduce identical executions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/debug"
+	"repro/internal/hb"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+
+	racereplay "repro"
+)
+
+// stdout is the command output sink, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "record":
+		err = cmdRecord(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "detect":
+		err = cmdDetect(args)
+	case "classify":
+		err = cmdClassify(args)
+	case "scenario":
+		err = cmdScenario(args)
+	case "suite":
+		err = cmdSuite(args)
+	case "record-suite":
+		err = cmdRecordSuite(args)
+	case "analyze-dir":
+		err = cmdAnalyzeDir(args)
+	case "mark-benign":
+		err = cmdMarkBenign(args)
+	case "debug":
+		err = cmdDebug(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "scenarios":
+		err = cmdScenarios(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "racer: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: racer <command> [flags]
+
+commands (flags come before the file argument):
+  run [-seed N] [-policy P] <prog.rasm>     execute a program on the RVM
+  record [-seed N] [-o LOG] [-keyframes N] <prog.rasm>
+                                            record an execution into a replay log
+  replay <LOG>                              deterministically replay a log
+  detect [-detector hb|vc|lockset] <LOG>    find data races in a replayed log
+  classify [-db FILE] [-race "A <-> B"] <LOG>
+                                            classify races by dual-order replay
+  scenario -name NAME [-db FILE]        analyze one built-in workload scenario
+  suite [-db FILE] [-seeds N]           analyze all 18 built-in scenarios
+  record-suite -dir DIR [-seeds N]      record every scenario's log to DIR
+  analyze-dir -dir DIR [-db FILE]       offline analysis over recorded logs
+  mark-benign -db FILE -race "A <-> B"  record a developer benign verdict
+  debug <LOG>                           time-travel debugger over a replay log
+  disasm <prog.rasm>                    disassemble an assembled program
+  scenarios                             list built-in workload scenarios
+`)
+}
+
+// parsePolicy maps a CLI policy name to a machine scheduler policy.
+func parsePolicy(name string) (machine.SchedPolicy, error) {
+	switch name {
+	case "random", "":
+		return machine.PolicyRandom, nil
+	case "rr", "round-robin":
+		return machine.PolicyRoundRobin, nil
+	case "pct":
+		return machine.PolicyPCT, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want random, rr, or pct)", name)
+}
+
+func loadProgram(path string) (*racereplay.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".rasm")
+	return racereplay.Assemble(name, string(src))
+}
+
+func loadLog(path string) (*racereplay.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return racereplay.ReadLog(f)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	policy := fs.String("policy", "random", "scheduler policy: random, rr, pct")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run wants one program file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	log, err := racereplay.Record(prog, racereplay.Config{Seed: *seed, Policy: pol})
+	if err != nil {
+		return err
+	}
+	printThreads(log)
+	return nil
+}
+
+func printThreads(log *racereplay.Log) {
+	for _, t := range log.Threads {
+		fmt.Fprintf(stdout, "thread %d: %v after %d instructions", t.TID, t.EndReason, t.Retired)
+		if t.Fault != nil {
+			fmt.Fprintf(stdout, " (fault kind %d at pc %d addr 0x%x)", t.Fault.Kind, t.Fault.PC, t.Fault.Addr)
+		}
+		fmt.Fprintln(stdout)
+	}
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	out := fs.String("o", "out.rlog", "log output path")
+	policy := fs.String("policy", "random", "scheduler policy: random, rr, pct")
+	keyframes := fs.Uint64("keyframes", 0, "emit a key frame every N instructions (0 = off)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("record wants one program file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg := racereplay.Config{Seed: *seed, Policy: pol}
+	var log *racereplay.Log
+	if *keyframes > 0 {
+		log, err = racereplay.RecordWithKeyFrames(prog, cfg, *keyframes)
+	} else {
+		log, err = racereplay.Record(prog, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := racereplay.WriteLog(f, log); err != nil {
+		return err
+	}
+	s := racereplay.LogStats(log)
+	fmt.Fprintf(stdout, "recorded %d instructions across %d threads\n", s.Instructions, len(log.Threads))
+	fmt.Fprintf(stdout, "log: %d bytes raw (%.2f bits/instr), %d bytes compressed (%.2f bits/instr) -> %s\n",
+		s.RawBytes, s.RawBitsPerInstr(), s.CompressedBytes, s.CompressedBitsPerInstr(), *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay wants one log file")
+	}
+	log, err := loadLog(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	exec, err := racereplay.Replay(log)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replayed %d instructions, %d threads, %d sequencing regions\n",
+		log.Instructions(), len(exec.Threads), len(exec.Regions))
+	for _, t := range exec.Threads {
+		fmt.Fprintf(stdout, "thread %d: %v, %d regions", t.TID, t.EndReason, len(t.Regions))
+		if len(t.Output) > 0 {
+			fmt.Fprintf(stdout, ", output %v", t.Output)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	detector := fs.String("detector", "hb", "hb (paper), vc (vector clock), or lockset (Eraser baseline)")
+	triage := fs.Bool("triage", false, "with -detector lockset: replay-triage the warnings")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("detect wants one log file")
+	}
+	log, err := loadLog(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	exec, err := racereplay.Replay(log)
+	if err != nil {
+		return err
+	}
+	switch *detector {
+	case "hb":
+		printRaces(racereplay.DetectRaces(exec))
+	case "vc":
+		rep, err := racereplay.DetectRacesVC(exec)
+		if err != nil {
+			return err
+		}
+		printRaces(rep)
+	case "lockset":
+		rep := racereplay.DetectRacesLockset(exec)
+		fmt.Fprintf(stdout, "%d lockset warnings (%d shared addresses checked)\n", len(rep.Warnings), rep.Checked)
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(stdout, "  addr 0x%x: %s (earlier access %s)\n", w.Addr, w.Site, w.OtherSite)
+		}
+		if *triage {
+			fmt.Fprintln(stdout, "replay triage of the lockset report (paper section 2.2.2):")
+			for _, tr := range racereplay.TriageLockset(exec, rep, racereplay.Options{}) {
+				fmt.Fprintf(stdout, "  addr 0x%x: %v (ordered pairs %d; racy instances %d: %d nsc, %d sc, %d rf)\n",
+					tr.Warning.Addr, tr.Verdict, tr.OrderedPairs, tr.RacyInstances, tr.NSC, tr.SC, tr.RF)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown detector %q", *detector)
+	}
+	return nil
+}
+
+func printRaces(rep *hb.Report) {
+	fmt.Fprintf(stdout, "%d unique data races (%d dynamic instances)\n", len(rep.Races), rep.TotalInstances)
+	for _, r := range rep.Races {
+		fmt.Fprintf(stdout, "  %s  (%d instances)\n", r.Sites, len(r.Instances))
+	}
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	dbPath := fs.String("db", "", "race database for suppression")
+	raceFilter := fs.String("race", "", "only report the race with this site pair")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("classify wants one log file")
+	}
+	log, err := loadLog(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	res, err := racereplay.AnalyzeLog(log, racereplay.Options{DB: db, Scenario: log.Prog.Name, Seed: log.Seed})
+	if err != nil {
+		return err
+	}
+	printClassification(res.Classification, *raceFilter)
+	return nil
+}
+
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	name := fs.String("name", "exec01", "built-in scenario name (or 'browse', 'service')")
+	seed := fs.Int64("seed", 0, "override the scenario's scheduler seed")
+	dbPath := fs.String("db", "", "race database for suppression")
+	raceFilter := fs.String("race", "", "only report the race with this site pair")
+	dump := fs.Bool("dump", false, "print the scenario's generated assembly and exit")
+	fs.Parse(args)
+	s, err := workloads.FindScenario(*name)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *dump {
+		fmt.Fprint(stdout, s.Source())
+		return nil
+	}
+	prog, err := s.Program()
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	res, err := racereplay.Analyze(prog, s.Config(), racereplay.Options{
+		Scenario: s.Name, Seed: s.Seed, DB: db,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scenario %s (seed %d): %d instructions, %d threads\n",
+		s.Name, s.Seed, res.Log.Instructions(), len(res.Log.Threads))
+	printClassification(res.Classification, *raceFilter)
+	return nil
+}
+
+func cmdSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	dbPath := fs.String("db", "", "race database for suppression")
+	verbose := fs.Bool("v", false, "print a report for every race")
+	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	fs.Parse(args)
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	run, err := racereplay.RunSuiteSeeds(db, *seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, report.Summary(run.Merged, report.SuiteTruth))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.BuildTable1(run.Merged, report.SuiteTruth).Render())
+	if *verbose {
+		fmt.Fprintln(stdout)
+		for _, r := range run.Merged.Races {
+			fmt.Fprint(stdout, report.RaceReport(r, report.SuiteTruth))
+		}
+	}
+	return nil
+}
+
+func printClassification(c *racereplay.Classification, filter string) {
+	benign, harmful := c.CountByVerdict()
+	fmt.Fprintf(stdout, "%d races: %d potentially benign, %d potentially harmful (%d instances analyzed)\n",
+		len(c.Races), benign, harmful, c.TotalInstances())
+	for _, r := range c.Races {
+		if filter != "" && r.Sites.String() != filter {
+			continue
+		}
+		fmt.Fprint(stdout, report.RaceReport(r, report.SuiteTruth))
+	}
+}
+
+func openDB(path string) (*classify.DB, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return racereplay.LoadDB(path)
+}
+
+// cmdRecordSuite implements the online half of the paper's usage model:
+// gather replay logs for every test scenario once, cheaply.
+func cmdRecordSuite(args []string) error {
+	fs := flag.NewFlagSet("record-suite", flag.ExitOnError)
+	dir := fs.String("dir", "logs", "output directory")
+	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	fs.Parse(args)
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	var totalInstr uint64
+	var totalBytes int
+	count := 0
+	for _, base := range workloads.Scenarios() {
+		for k := 0; k < *seeds; k++ {
+			s := base
+			s.Seed = base.Seed + int64(7777*k)
+			prog, err := s.Program()
+			if err != nil {
+				return err
+			}
+			log, err := racereplay.Record(prog, s.Config())
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, fmt.Sprintf("%s-%d.rlog", s.Name, k))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := racereplay.WriteLog(f, log); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			st := racereplay.LogStats(log)
+			totalInstr += st.Instructions
+			totalBytes += st.CompressedBytes
+			count++
+		}
+	}
+	fmt.Fprintf(stdout, "recorded %d executions: %d instructions, %d bytes of compressed logs -> %s\n",
+		count, totalInstr, totalBytes, *dir)
+	return nil
+}
+
+// cmdAnalyzeDir implements the offline half: replay every stored log,
+// find and classify the races, and merge verdicts across executions.
+func cmdAnalyzeDir(args []string) error {
+	fs := flag.NewFlagSet("analyze-dir", flag.ExitOnError)
+	dir := fs.String("dir", "logs", "directory of .rlog files")
+	dbPath := fs.String("db", "", "race database for suppression")
+	fs.Parse(args)
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	entries, err := filepath.Glob(filepath.Join(*dir, "*.rlog"))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no .rlog files in %s", *dir)
+	}
+	sort.Strings(entries)
+	var parts []*racereplay.Classification
+	for _, path := range entries {
+		log, err := loadLog(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		res, err := racereplay.AnalyzeLog(log, racereplay.Options{
+			Scenario: filepath.Base(path), Seed: log.Seed, DB: db,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		parts = append(parts, res.Classification)
+	}
+	merged := racereplay.MergeClassifications(parts...)
+	fmt.Fprintf(stdout, "analyzed %d recorded executions\n", len(entries))
+	fmt.Fprint(stdout, report.Summary(merged, report.SuiteTruth))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.BuildTable1(merged, report.SuiteTruth).Render())
+	return nil
+}
+
+func cmdMarkBenign(args []string) error {
+	fs := flag.NewFlagSet("mark-benign", flag.ExitOnError)
+	dbPath := fs.String("db", "races.json", "race database path")
+	race := fs.String("race", "", "site pair, e.g. 'suite:a <-> suite:b'")
+	note := fs.String("note", "", "triage note")
+	fs.Parse(args)
+	if *race == "" {
+		return fmt.Errorf("mark-benign wants -race 'siteA <-> siteB'")
+	}
+	parts := strings.Split(*race, "<->")
+	if len(parts) != 2 {
+		return fmt.Errorf("race must look like 'siteA <-> siteB'")
+	}
+	db, err := racereplay.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	sites := hb.MakeSitePair(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	db.MarkBenign(sites, *note)
+	if err := db.Save(*dbPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "marked %s benign in %s\n", sites, *dbPath)
+	return nil
+}
+
+func cmdDebug(args []string) error {
+	fs := flag.NewFlagSet("debug", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("debug wants one log file")
+	}
+	log, err := loadLog(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return debug.REPL(log, os.Stdin, stdout)
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("disasm wants one program file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, prog.Disassemble())
+	return nil
+}
+
+func cmdScenarios(args []string) error {
+	for _, s := range workloads.Scenarios() {
+		names := make([]string, len(s.Templates))
+		for i, t := range s.Templates {
+			names[i] = t.Name
+		}
+		fmt.Fprintf(stdout, "%s (seed %d): %s\n", s.Name, s.Seed, strings.Join(names, " "))
+	}
+	fmt.Fprintln(stdout, "browse (perf workload)")
+	return nil
+}

@@ -1,0 +1,351 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+
+	racereplay "repro"
+)
+
+// capture redirects command output to a builder for the duration of f.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	var b strings.Builder
+	old := stdout
+	stdout = &b
+	defer func() { stdout = old }()
+	if err := f(); err != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", err, b.String())
+	}
+	return b.String()
+}
+
+const testProg = `
+.entry main
+.word g 0
+worker:
+  ldi r2, g
+  addi r3, r1, 5
+wstore:
+  st [r2+0], r3
+  ldi r1, 0
+  sys exit
+main:
+  ldi r1, worker
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, worker
+  ldi r2, 1
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  ldi r2, g
+  ld r1, [r2+0]
+  sys print
+  halt
+`
+
+func writeProg(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.rasm")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdRunAndPolicies(t *testing.T) {
+	path := writeProg(t)
+	for _, policy := range []string{"random", "rr", "pct"} {
+		out := capture(t, func() error { return cmdRun([]string{"-seed", "3", "-policy", policy, path}) })
+		if !strings.Contains(out, "thread 0: halted") {
+			t.Errorf("policy %s: run output missing main thread:\n%s", policy, out)
+		}
+	}
+	if err := cmdRun([]string{"-policy", "bogus", path}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := cmdRun([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdRecordReplayDetectClassify(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "run.rlog")
+
+	out := capture(t, func() error { return cmdRecord([]string{"-seed", "6", "-o", logPath, prog}) })
+	if !strings.Contains(out, "bits/instr") {
+		t.Errorf("record output missing stats:\n%s", out)
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		t.Fatal("log not written")
+	}
+
+	out = capture(t, func() error { return cmdReplay([]string{logPath}) })
+	if !strings.Contains(out, "sequencing regions") {
+		t.Errorf("replay output:\n%s", out)
+	}
+
+	out = capture(t, func() error { return cmdDetect([]string{logPath}) })
+	if !strings.Contains(out, "unique data races") {
+		t.Errorf("detect output:\n%s", out)
+	}
+
+	out = capture(t, func() error { return cmdDetect([]string{"-detector", "vc", logPath}) })
+	if !strings.Contains(out, "unique data races") {
+		t.Errorf("vc detect output:\n%s", out)
+	}
+
+	out = capture(t, func() error { return cmdDetect([]string{"-detector", "lockset", logPath}) })
+	if !strings.Contains(out, "lockset warnings") {
+		t.Errorf("lockset output:\n%s", out)
+	}
+	if err := cmdDetect([]string{"-detector", "bogus", logPath}); err == nil {
+		t.Error("bogus detector accepted")
+	}
+
+	out = capture(t, func() error { return cmdClassify([]string{logPath}) })
+	if !strings.Contains(out, "potentially benign") {
+		t.Errorf("classify output:\n%s", out)
+	}
+}
+
+func TestCmdScenarioAndScenarios(t *testing.T) {
+	out := capture(t, func() error { return cmdScenarios(nil) })
+	if !strings.Contains(out, "exec01") || !strings.Contains(out, "browse") {
+		t.Errorf("scenarios output:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdScenario([]string{"-name", "exec01"}) })
+	if !strings.Contains(out, "scenario exec01") || !strings.Contains(out, "races:") {
+		t.Errorf("scenario output:\n%s", out)
+	}
+	if err := cmdScenario([]string{"-name", "nosuch"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestCmdMarkBenignRoundTrip(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "db.json")
+	out := capture(t, func() error {
+		return cmdMarkBenign([]string{"-db", dbPath, "-race", "suite:a <-> suite:b", "-note", "triaged"})
+	})
+	if !strings.Contains(out, "marked") {
+		t.Errorf("mark-benign output:\n%s", out)
+	}
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "suite:a") {
+		t.Errorf("db missing mark:\n%s", data)
+	}
+	if err := cmdMarkBenign([]string{"-db", dbPath, "-race", "no-arrow"}); err == nil {
+		t.Error("malformed race accepted")
+	}
+	if err := cmdMarkBenign([]string{"-db", dbPath}); err == nil {
+		t.Error("missing race accepted")
+	}
+}
+
+func TestCmdDisasm(t *testing.T) {
+	prog := writeProg(t)
+	out := capture(t, func() error { return cmdDisasm([]string{prog}) })
+	for _, want := range []string{"worker:", "main:", "sys spawn", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"random": "random", "rr": "round-robin", "round-robin": "round-robin", "pct": "pct", "": "random",
+	} {
+		p, err := parsePolicy(name)
+		if err != nil || p.String() != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := parsePolicy("zzz"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestCmdSuiteSummary(t *testing.T) {
+	out := capture(t, func() error { return cmdSuite([]string{}) })
+	for _, want := range []string{"unique races: 68", "Table 1", "reported for triage: 36 (7 real bugs among them)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+func TestCmdSuiteWithDBSuppression(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "db.json")
+	capture(t, func() error {
+		return cmdMarkBenign([]string{"-db", dbPath, "-race", "suite:actr01_ast <-> suite:actr01_ast"})
+	})
+	out := capture(t, func() error { return cmdSuite([]string{"-db", dbPath}) })
+	if !strings.Contains(out, "unique races: 68") {
+		t.Errorf("suite with db output:\n%s", out[:200])
+	}
+}
+
+func TestCmdErrorsOnMissingFiles(t *testing.T) {
+	for name, f := range map[string]func([]string) error{
+		"replay":   cmdReplay,
+		"detect":   cmdDetect,
+		"classify": cmdClassify,
+		"disasm":   cmdDisasm,
+		"debug":    cmdDebug,
+	} {
+		if err := f([]string{"/nonexistent/file"}); err == nil {
+			t.Errorf("%s accepted a missing file", name)
+		}
+		if err := f(nil); err == nil {
+			t.Errorf("%s accepted no args", name)
+		}
+	}
+	if err := cmdRecord([]string{"/nonexistent.rasm"}); err == nil {
+		t.Error("record accepted a missing file")
+	}
+}
+
+func TestCmdScenarioService(t *testing.T) {
+	out := capture(t, func() error { return cmdScenario([]string{"-name", "service"}) })
+	if !strings.Contains(out, "scenario service") || !strings.Contains(out, "0 potentially harmful") {
+		t.Errorf("service scenario output:\n%s", out)
+	}
+}
+
+func TestCmdRecordWithKeyFramesAndDump(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "kf.rlog")
+	out := capture(t, func() error {
+		return cmdRecord([]string{"-keyframes", "4", "-o", logPath, prog})
+	})
+	if !strings.Contains(out, "recorded") {
+		t.Errorf("record output:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdReplay([]string{logPath}) })
+	if !strings.Contains(out, "sequencing regions") {
+		t.Errorf("keyframed log replay:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdScenario([]string{"-name", "exec01", "-dump"}) })
+	if !strings.Contains(out, ".entry main") || !strings.Contains(out, "sys spawn") {
+		t.Errorf("dump output:\n%s", out[:200])
+	}
+}
+
+func TestRecordSuiteThenAnalyzeDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	out := capture(t, func() error { return cmdRecordSuite([]string{"-dir", dir}) })
+	if !strings.Contains(out, "recorded 18 executions") {
+		t.Errorf("record-suite output:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir}) })
+	for _, want := range []string{"analyzed 18 recorded executions", "unique races: 68", "Table 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze-dir output missing %q", want)
+		}
+	}
+	if err := cmdAnalyzeDir([]string{"-dir", filepath.Join(dir, "empty")}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestScenarioRaceFilterRoundTrip(t *testing.T) {
+	// The reproduce line printed in race reports must actually work: find
+	// a race in exec01, then re-run with -race and get exactly that race.
+	var sites string
+	out := capture(t, func() error { return cmdScenario([]string{"-name", "exec01"}) })
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "race ") {
+			sites = strings.TrimPrefix(line, "race ")
+			break
+		}
+	}
+	if sites == "" {
+		t.Fatal("no race found in exec01")
+	}
+	out = capture(t, func() error {
+		return cmdScenario([]string{"-name", "exec01", "-race", sites})
+	})
+	if !strings.Contains(out, "race "+sites) {
+		t.Errorf("filtered output missing the race:\n%s", out)
+	}
+	// Exactly one race block is printed.
+	if strings.Count(out, "\nrace ") > 1 {
+		t.Errorf("filter printed more than one race:\n%s", out)
+	}
+}
+
+// TestFullTriageLoop is the paper's §1 story as one end-to-end CLI flow:
+// record the product's test scenarios once; analyze offline; triage the
+// potentially-harmful set, marking the tolerated races benign; re-analyze
+// and get only the real bugs.
+func TestFullTriageLoop(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	dbPath := filepath.Join(t.TempDir(), "races.json")
+
+	capture(t, func() error { return cmdRecordSuite([]string{"-dir", dir}) })
+
+	// First offline analysis: 36 potentially harmful races show up.
+	out := capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir}) })
+	if !strings.Contains(out, "potentially benign: 32 (47% of all races)") {
+		t.Fatalf("first analysis:\n%s", out)
+	}
+	if !strings.Contains(out, "reported for triage: 36 (7 real bugs among them)") {
+		t.Fatalf("first analysis triage queue:\n%s", out)
+	}
+
+	// "Triage": mark the 29 tolerated races benign. (The test plays the
+	// role of the domain expert using the ground truth.)
+	run, err := racereplay.RunSuite(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	for _, r := range run.Merged.Races {
+		h, _, ok := report.SuiteTruth(r.Sites.A)
+		if ok && !h && r.Verdict == racereplay.PotentiallyHarmful {
+			capture(t, func() error {
+				return cmdMarkBenign([]string{"-db", dbPath, "-race", r.Sites.String(), "-note", "triaged"})
+			})
+			marked++
+		}
+	}
+	if marked != 29 {
+		t.Fatalf("marked %d races, want 29", marked)
+	}
+
+	// Second analysis: only the 7 real bugs remain on the triage queue.
+	out = capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir, "-db", dbPath}) })
+	if !strings.Contains(out, "suppressed by the race database: 29") {
+		t.Fatalf("second analysis missing suppression:\n%s", out)
+	}
+	if !strings.Contains(out, "reported for triage: 7 (7 real bugs among them)") {
+		t.Fatalf("second analysis:\n%s", out)
+	}
+}
+
+func TestCmdDetectLocksetTriage(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "t.rlog")
+	capture(t, func() error { return cmdRecord([]string{"-seed", "6", "-o", logPath, prog}) })
+	out := capture(t, func() error {
+		return cmdDetect([]string{"-detector", "lockset", "-triage", logPath})
+	})
+	if !strings.Contains(out, "replay triage of the lockset report") {
+		t.Errorf("triage section missing:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+// Locksetcompare: the happens-before detector versus the Eraser-style
+// lockset baseline (§2.2.2 of the paper).
+//
+// The program is perfectly synchronized — the parent initializes shared
+// data before spawning, the child updates it, and the parent reads it
+// after join; a second pair of threads shares a counter under a lock.
+// The happens-before detector is silent (there is no race); the lockset
+// discipline checker still warns about the fork/join sharing because no
+// lock protects it — the classic lockset false positive the paper
+// contrasts against.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	racereplay "repro"
+)
+
+const src = `
+.entry main
+.word shared 0
+.word mu 0
+.word counted 0
+
+; Child owns 'shared' between spawn and join.
+child:
+  ldi r2, shared
+  ld r3, [r2+0]
+  muli r3, r3, 3
+  st [r2+0], r3
+  ldi r1, 0
+  sys exit
+
+; Two counters share 'counted' under a consistent lock.
+counterw:
+  ldi r5, 12
+cloop:
+  ldi r3, mu
+  lock [r3+0]
+  ldi r4, counted
+  ld r6, [r4+0]
+  addi r6, r6, 1
+  st [r4+0], r6
+  unlock [r3+0]
+  addi r5, r5, -1
+  bne r5, r0, cloop
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r2, shared
+  ldi r3, 14
+  st [r2+0], r3       ; init before spawn: ordered
+  ldi r1, child
+  ldi r2, 0
+  sys spawn
+  sys join            ; child's writes ordered before the read below
+  ldi r2, shared
+  ld r4, [r2+0]
+  mov r1, r4
+  sys print           ; 42
+  ldi r1, counterw
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, counterw
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  ldi r2, counted
+  ld r1, [r2+0]
+  sys print           ; 24
+  halt
+`
+
+func main() {
+	prog, err := racereplay.Assemble("lockset-demo", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rlog, err := racereplay.Record(prog, racereplay.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := racereplay.Replay(rlog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %v\n\n", exec.Thread(0).Output)
+
+	hbRaces := racereplay.DetectRaces(exec)
+	fmt.Printf("happens-before detector: %d races", len(hbRaces.Races))
+	if len(hbRaces.Races) == 0 {
+		fmt.Println("  (correct: every access is ordered by spawn/join or the lock)")
+	} else {
+		fmt.Println()
+		for _, r := range hbRaces.Races {
+			fmt.Printf("  %s\n", r.Sites)
+		}
+	}
+
+	ls := racereplay.DetectRacesLockset(exec)
+	fmt.Printf("\nlockset (Eraser) baseline: %d warnings over %d shared addresses\n",
+		len(ls.Warnings), ls.Checked)
+	for _, w := range ls.Warnings {
+		fmt.Printf("  addr 0x%x at %s (earlier access: %s)\n", w.Addr, w.Site, w.OtherSite)
+	}
+	if len(ls.Warnings) > 0 {
+		fmt.Println("\nthe warnings are false positives: fork/join ordering is correct")
+		fmt.Println("synchronization, but it is invisible to a locking-discipline check —")
+		fmt.Println("which is why the paper builds on happens-before (§2.2.2).")
+	}
+
+	// §2.2.2 also claims the replay analysis can clean up a lockset
+	// detector's output directly. Run the triage:
+	fmt.Println("\nreplay triage of the lockset warnings:")
+	for _, tr := range racereplay.TriageLockset(exec, ls, racereplay.Options{}) {
+		fmt.Printf("  addr 0x%x: %v (%d ordered pairs, %d racy instances)\n",
+			tr.Warning.Addr, tr.Verdict, tr.OrderedPairs, tr.RacyInstances)
+	}
+	fmt.Println("every warning is dismissed: the conflicting accesses are all ordered")
+	fmt.Println("by sequencers, so there is no race at all — exactly the filtering the")
+	fmt.Println("paper promises for lockset-based reports.")
+}

@@ -1,0 +1,102 @@
+// Quickstart: record a small racy program, find its data races, and let
+// the replay-based classifier sort them into potentially benign and
+// potentially harmful.
+//
+// The program has two races: a benign one (both threads store the same
+// constant into `cache`) and a harmful one (a monitor reads a `total`
+// that an updater modifies non-atomically, and acts on the value).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	racereplay "repro"
+)
+
+const src = `
+.entry main
+.word cache 7
+.word total 0
+
+; Worker: refreshes the cache with the (identical) recomputed value, then
+; bumps the running total non-atomically.
+worker:
+  ldi r5, 8
+wloop:
+  ldi r2, cache
+  ldi r3, 7
+cache_store:
+  st [r2+0], r3        ; redundant write: benign race
+  ldi r2, total
+total_load:
+  ld r3, [r2+0]
+  addi r3, r3, 5
+total_store:
+  st [r2+0], r3        ; lost-update race on total
+  sys sysnop
+  addi r5, r5, -1
+  bne r5, r0, wloop
+  ldi r1, 0
+  sys exit
+
+; Monitor: samples the running total; the sampled value stays live.
+monitor:
+  ldi r5, 8
+mloop:
+  ldi r2, total
+total_read:
+  ld r7, [r2+0]        ; races with total_store, and the value matters
+  sys sysnop
+  addi r5, r5, -1
+  bne r5, r0, mloop
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r1, worker
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, worker
+  sys spawn
+  mov r9, r1
+  ldi r1, monitor
+  ldi r2, 0
+  sys spawn
+  mov r10, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  mov r1, r10
+  sys join
+  halt
+`
+
+func main() {
+	// One call runs the whole pipeline: record the execution into a
+	// replay log, replay it, detect races with the happens-before
+	// detector, and classify each race by replaying both orders of every
+	// instance.
+	res, err := racereplay.AnalyzeSource("quickstart", src, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := res.LogStats()
+	fmt.Printf("recorded %d instructions (%.2f bits/instruction of log)\n",
+		stats.Instructions, stats.RawBitsPerInstr())
+	fmt.Printf("happens-before detector found %d unique races (%d instances)\n\n",
+		len(res.Races.Races), res.Races.TotalInstances)
+
+	for _, race := range res.Classification.Races {
+		fmt.Printf("%-55s -> %v\n", race.Sites, race.Verdict)
+		fmt.Printf("   instances: %d no-state-change, %d state-change, %d replay-failure\n",
+			race.NSC, race.SC, race.RF)
+	}
+
+	benign, harmful := res.Classification.CountByVerdict()
+	fmt.Printf("\n%d potentially benign (can be ignored), %d potentially harmful (triage these)\n",
+		benign, harmful)
+}

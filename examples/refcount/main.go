@@ -1,0 +1,114 @@
+// Refcount: a faithful walk-through of the paper's Figure 2 — the
+// reference-counting bug that motivated the whole system.
+//
+//	foo->refCnt--;
+//	if (foo->refCnt == 0)
+//	    free(foo);
+//
+// Two threads run this without synchronization. Most interleavings are
+// lucky; a few double-free or use freed memory. This example records one
+// execution, shows the races the happens-before detector finds, and then
+// prints what happened when each racing instance was replayed in both
+// orders — including the reproduction coordinates a developer would use
+// to replay the failing order under a debugger.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	racereplay "repro"
+)
+
+const src = `
+.entry main
+.word foo 0
+
+worker:
+  ldi r2, foo
+  ld r4, [r2+0]       ; r4 = the shared object
+rc_load:
+  ld r5, [r4+0]       ; load refCnt
+  addi r5, r5, -1
+rc_store:
+  st [r4+0], r5       ; store refCnt-1  (not atomic with the load!)
+rc_check:
+  ld r6, [r4+0]       ; re-read, as in Figure 2
+  bne r6, r0, done
+  mov r1, r4
+  sys free            ; free(foo) when the count hits zero
+done:
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r1, 1
+  sys alloc           ; the object: one word holding the refcount
+  mov r4, r1
+  ldi r3, 2
+  st [r4+0], r3       ; refCnt = 2 (one reference per thread)
+  ldi r2, foo
+  st [r2+0], r4
+  ldi r1, worker
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, worker
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  halt
+`
+
+func main() {
+	// Scan a few interleavings, exactly like running several test
+	// scenarios: the more instances observed, the more likely one exposes
+	// the bug (§5.3 of the paper).
+	exposed := false
+	for seed := int64(1); seed <= 12; seed++ {
+		res, err := racereplay.AnalyzeSource("refcount", src, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Classification.Races) == 0 {
+			continue
+		}
+		fmt.Printf("=== seed %d: %d races, %d instances\n",
+			seed, len(res.Classification.Races), res.Classification.TotalInstances())
+		for _, race := range res.Classification.Races {
+			fmt.Printf("  %-50s %v  (nsc %d / sc %d / rf %d)\n",
+				race.Sites, race.Verdict, race.NSC, race.SC, race.RF)
+			if race.Verdict != racereplay.PotentiallyHarmful {
+				continue
+			}
+			exposed = true
+			for _, s := range race.Samples {
+				if s.FailReason == "" && len(s.Diffs) == 0 {
+					continue
+				}
+				fmt.Printf("    instance at addr 0x%x (threads %d and %d):\n", s.Addr, s.TIDA, s.TIDB)
+				if s.FailReason != "" {
+					fmt.Printf("      replay failure: %s\n", s.FailReason)
+					fmt.Println("      (the re-ordered thread headed into the free path —")
+					fmt.Println("       the paper's replay-failure signal for a harmful race)")
+				}
+				for _, d := range s.Diffs {
+					fmt.Printf("      live-out difference: %s\n", d)
+				}
+				fmt.Printf("      reproduce both orders: region pair (%d, %d), instruction indices (%d, %d)\n",
+					s.RegionA, s.RegionB, s.IdxA, s.IdxB)
+			}
+		}
+		if exposed {
+			break
+		}
+	}
+	if !exposed {
+		fmt.Println("no harmful instance exposed on these seeds; try more scenarios")
+	} else {
+		fmt.Println("\nverdict: the refcount race is potentially harmful — exactly Figure 2.")
+	}
+}

@@ -1,0 +1,111 @@
+// Statscounter: the paper's "approximate computation" misclassification
+// and the triage workflow that handles it (§1, §5.2.4).
+//
+// Developers left a statistics counter unsynchronized on purpose — a
+// tolerated, intentional race. The classifier cannot know the intent: the
+// two orders really do produce different state, so the race is reported
+// potentially harmful. A developer triages it once, marks it benign in
+// the race database, and every future analysis suppresses it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	racereplay "repro"
+)
+
+const src = `
+.entry main
+.word hits 0
+
+; Two request handlers bump a hit counter without a lock: cheaper than
+; synchronizing, and "about right" is good enough for a dashboard.
+handler:
+  ldi r5, 10
+  mov r6, r1
+hloop:
+  ldi r2, hits
+  ld r3, [r2+0]
+  addi r3, r3, 1
+hit_store:
+  st [r2+0], r3
+  sys sysnop
+  addi r5, r5, -1
+  bne r5, r0, hloop
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r1, handler
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, handler
+  ldi r2, 1
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  halt
+`
+
+func main() {
+	dbPath := filepath.Join(os.TempDir(), "statscounter-races.json")
+	defer os.Remove(dbPath)
+
+	// First analysis: no database yet. The intentional race is reported
+	// potentially harmful — a false alarm that costs developer time.
+	res, err := racereplay.AnalyzeSource("stats", src, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benign, harmful := res.Classification.CountByVerdict()
+	fmt.Printf("first analysis:  %d potentially benign, %d potentially harmful\n", benign, harmful)
+	for _, race := range res.Classification.Races {
+		if race.Verdict == racereplay.PotentiallyHarmful {
+			fmt.Printf("  reported: %s (%d state-change instances — a real lost update,\n"+
+				"            but the developers tolerate it for performance)\n", race.Sites, race.SC)
+		}
+	}
+
+	// The developer triages the report, recognizes the intentional
+	// approximate counter, and records the verdict.
+	db := racereplay.NewDB()
+	for _, race := range res.Classification.Races {
+		if race.Verdict == racereplay.PotentiallyHarmful {
+			db.MarkBenign(race.Sites, "intentional: approximate hit counter, sync too expensive")
+		}
+	}
+	if err := db.Save(dbPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntriage: marked %d race(s) benign in %s\n", len(db.Marks()), dbPath)
+
+	// Every later analysis loads the database; the tolerated race no
+	// longer consumes triage time.
+	db2, err := racereplay.LoadDB(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := racereplay.Assemble("stats", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := racereplay.Analyze(prog, racereplay.Config{Seed: 4}, racereplay.Options{DB: db2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	benign2, harmful2 := res2.Classification.CountByVerdict()
+	fmt.Printf("second analysis: %d potentially benign, %d reported for triage (suppressed the rest)\n",
+		benign2, harmful2)
+	for _, race := range res2.Classification.Races {
+		if race.Suppressed {
+			fmt.Printf("  suppressed: %s\n", race.Sites)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder constructs programs instruction-by-instruction, as an
+// alternative to assembling text. Labels may be referenced before they
+// are defined; Build resolves them and validates the result.
+//
+//	b := asm.NewBuilder("demo")
+//	g := b.Word("g", 0)
+//	b.Label("main")
+//	b.Ldi(2, int64(g))
+//	b.Ld(3, 2, 0)
+//	b.Addi(3, 3, 1)
+//	b.St(2, 0, 3)
+//	b.Halt()
+//	prog, err := b.Build()
+type Builder struct {
+	prog    *isa.Program
+	nextDat uint64
+	fixups  []fixup // label references to resolve at Build
+	lastLbl string
+	lastAt  int
+	err     error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty builder for a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: isa.NewProgram(name), nextDat: isa.DataBase}
+}
+
+// Word declares an initialized data word and returns its address.
+func (b *Builder) Word(name string, init uint64) uint64 {
+	addr := b.nextDat
+	b.nextDat++
+	b.prog.Data[addr] = init
+	return addr
+}
+
+// Space declares n zeroed data words and returns the base address.
+func (b *Builder) Space(name string, n int) uint64 {
+	base := b.nextDat
+	for i := 0; i < n; i++ {
+		b.prog.Data[b.nextDat] = 0
+		b.nextDat++
+	}
+	return base
+}
+
+// Label defines a label at the current instruction position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.prog.Symbols[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("asm: duplicate label %q", name)
+	}
+	b.prog.Symbols[name] = len(b.prog.Code)
+	return b
+}
+
+// Entry marks a label as the entry point (resolved at Build).
+func (b *Builder) Entry(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: -1, label: label})
+	return b
+}
+
+// emit appends an instruction, maintaining the source map.
+func (b *Builder) emit(ins isa.Instr) *Builder {
+	pc := len(b.prog.Code)
+	if at, ok := labelAt(b.prog.Symbols, pc); ok {
+		b.lastLbl, b.lastAt = at, pc
+	}
+	b.prog.Code = append(b.prog.Code, ins)
+	b.prog.Sources = append(b.prog.Sources, isa.SourceLoc{
+		Symbol: b.lastLbl, Offset: pc - b.lastAt,
+	})
+	return b
+}
+
+// emitBranch appends a label-targeted instruction to fix up at Build.
+func (b *Builder) emitBranch(ins isa.Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.prog.Code), label: label})
+	return b.emit(ins)
+}
+
+// Instruction emitters. Register operands are plain ints for brevity.
+
+func (b *Builder) Nop() *Builder          { return b.emit(isa.Instr{Op: isa.OpNop}) }
+func (b *Builder) Halt() *Builder         { return b.emit(isa.Instr{Op: isa.OpHalt}) }
+func (b *Builder) Fence() *Builder        { return b.emit(isa.Instr{Op: isa.OpFence}) }
+func (b *Builder) Ret() *Builder          { return b.emit(isa.Instr{Op: isa.OpRet}) }
+func (b *Builder) Sys(num int64) *Builder { return b.emit(isa.Instr{Op: isa.OpSys, Imm: num}) }
+func (b *Builder) Ldi(rd int, imm int64) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpLdi, Rd: uint8(rd), Imm: imm})
+}
+func (b *Builder) Mov(rd, rs int) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(rd), Rs1: uint8(rs)})
+}
+func (b *Builder) Alu(op isa.Op, rd, rs1, rs2 int) *Builder {
+	return b.emit(isa.Instr{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) AluImm(op isa.Op, rd, rs1 int, imm int64) *Builder {
+	return b.emit(isa.Instr{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+func (b *Builder) Addi(rd, rs1 int, imm int64) *Builder { return b.AluImm(isa.OpAddi, rd, rs1, imm) }
+func (b *Builder) Ld(rd, base int, off int64) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpLd, Rd: uint8(rd), Rs1: uint8(base), Imm: off})
+}
+func (b *Builder) St(base int, off int64, rs int) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpSt, Rs1: uint8(base), Imm: off, Rs2: uint8(rs)})
+}
+func (b *Builder) Branch(op isa.Op, rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(isa.Instr{Op: op, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(isa.Instr{Op: isa.OpJmp}, label)
+}
+func (b *Builder) Call(label string) *Builder {
+	return b.emitBranch(isa.Instr{Op: isa.OpCall}, label)
+}
+func (b *Builder) Lock(base int, off int64) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpLock, Rs1: uint8(base), Imm: off})
+}
+func (b *Builder) Unlock(base int, off int64) *Builder {
+	return b.emit(isa.Instr{Op: isa.OpUnlock, Rs1: uint8(base), Imm: off})
+}
+func (b *Builder) Atomic(op isa.Op, rd, base int, off int64, rs int) *Builder {
+	return b.emit(isa.Instr{Op: op, Rd: uint8(rd), Rs1: uint8(base), Imm: off, Rs2: uint8(rs)})
+}
+func (b *Builder) MemRMW(op isa.Op, base int, off int64, rs int) *Builder {
+	return b.emit(isa.Instr{Op: op, Rs1: uint8(base), Imm: off, Rs2: uint8(rs)})
+}
+
+// Build resolves label fixups and validates the program.
+func (b *Builder) Build() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		at, ok := b.prog.Symbols[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		if f.pc < 0 {
+			b.prog.Entry = at
+		} else {
+			b.prog.Code[f.pc].Imm = int64(at)
+		}
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}

@@ -1,0 +1,148 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderEquivalentToText(t *testing.T) {
+	// The same counting loop built both ways must produce identical code.
+	text := `
+.word g 0
+main:
+  ldi r1, 5
+  ldi r2, g
+loop:
+  ld r3, [r2+0]
+  addi r3, r3, 1
+  st [r2+0], r3
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+`
+	fromText, err := Assemble("cmp", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder("cmp")
+	g := b.Word("g", 0)
+	b.Label("main")
+	b.Ldi(1, 5)
+	b.Ldi(2, int64(g))
+	b.Label("loop")
+	b.Ld(3, 2, 0)
+	b.Addi(3, 3, 1)
+	b.St(2, 0, 3)
+	b.Addi(1, 1, -1)
+	b.Branch(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	fromBuilder, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fromText.Code) != len(fromBuilder.Code) {
+		t.Fatalf("lengths: %d vs %d", len(fromText.Code), len(fromBuilder.Code))
+	}
+	for i := range fromText.Code {
+		if fromText.Code[i] != fromBuilder.Code[i] {
+			t.Errorf("pc %d: %v vs %v", i, fromText.Code[i], fromBuilder.Code[i])
+		}
+	}
+	if fromBuilder.Data[g] != 0 {
+		t.Error("data init lost")
+	}
+	if fromBuilder.SiteOf(2) != "cmp:loop" {
+		t.Errorf("builder source map: SiteOf(2) = %q", fromBuilder.SiteOf(2))
+	}
+}
+
+func TestBuilderForwardReferenceAndEntry(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Entry("main")
+	b.Label("sub")
+	b.Addi(1, 1, 1)
+	b.Ret()
+	b.Label("main")
+	b.Ldi(15, int64(isa.StackTop(0)))
+	b.Call("sub")
+	b.Jmp("done")
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != prog.Symbols["main"] {
+		t.Errorf("entry = %d", prog.Entry)
+	}
+	if prog.Code[prog.Symbols["main"]+1].Imm != int64(prog.Symbols["sub"]) {
+		t.Error("call target unresolved")
+	}
+	if prog.Code[prog.Symbols["main"]+2].Imm != int64(prog.Symbols["done"]) {
+		t.Error("forward jmp unresolved")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	b2 := NewBuilder("bad2")
+	b2.Jmp("nowhere")
+	if _, err := b2.Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+
+	b3 := NewBuilder("bad3")
+	b3.Entry("missing")
+	b3.Halt()
+	if _, err := b3.Build(); err == nil {
+		t.Error("undefined entry accepted")
+	}
+}
+
+func TestBuilderSyncAndSpace(t *testing.T) {
+	b := NewBuilder("sync")
+	mu := b.Word("mu", 0)
+	buf := b.Space("buf", 4)
+	b.Label("main")
+	b.Ldi(2, int64(mu))
+	b.Lock(2, 0)
+	b.Ldi(3, int64(buf))
+	b.Ldi(4, 9)
+	b.St(3, 2, 4)
+	b.Unlock(2, 0)
+	b.Ldi(5, 1)
+	b.Atomic(isa.OpXadd, 6, 3, 0, 5)
+	b.MemRMW(isa.OpOrm, 3, 1, 5)
+	b.Fence()
+	b.Sys(isa.SysNop)
+	b.Mov(7, 6)
+	b.Alu(isa.OpAdd, 8, 7, 5)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf != mu+1 {
+		t.Errorf("space allocation: buf=%d mu=%d", buf, mu)
+	}
+	syncs := 0
+	for _, ins := range prog.Code {
+		if ins.Op.IsSync() {
+			syncs++
+		}
+	}
+	if syncs != 5 {
+		t.Errorf("sync instructions = %d, want 5 (lock, unlock, xadd, fence, sysnop)", syncs)
+	}
+}

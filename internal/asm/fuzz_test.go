@@ -1,0 +1,22 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble: arbitrary source must never panic the assembler, and any
+// program it accepts must validate.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n  ldi r1, 5\n  sys print\n  halt\n")
+	f.Add(".word g 1\n.const K = 2\nmain:\n  ld r1, [r2+g]\n  halt\n")
+	f.Add(".entry nowhere\n")
+	f.Add("a: b: c: nop\n")
+	f.Add("main:\n  st [sp-1], r1\n  halt")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("Assemble accepted an invalid program: %v", err)
+		}
+	})
+}

@@ -1,0 +1,356 @@
+// Package classify turns per-instance dual-order replay outcomes into the
+// paper's race classification (§4.3, §5.2).
+//
+// Every dynamic instance of a race is analyzed by the virtual processor;
+// a unique (static) race is classified No-State-Change only if every one
+// of its instances is No-State-Change, State-Change if any instance is,
+// and Replay-Failure otherwise. No-State-Change races are *potentially
+// benign* and everything else is *potentially harmful* — the set handed
+// to developers for triage.
+//
+// The package also carries the triage workflow the paper describes (§1):
+// a persistent race database in which a developer can mark a race benign
+// after manual inspection, suppressing it from future reports.
+package classify
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/hb"
+	"repro/internal/replay"
+	"repro/internal/vproc"
+)
+
+// Group is the Table 1 row a race falls into.
+type Group int
+
+const (
+	GroupNoStateChange Group = iota
+	GroupStateChange
+	GroupReplayFailure
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupNoStateChange:
+		return "no-state-change"
+	case GroupStateChange:
+		return "state-change"
+	case GroupReplayFailure:
+		return "replay-failure"
+	}
+	return fmt.Sprintf("group(%d)", int(g))
+}
+
+// Verdict is the automatic classification handed to developers.
+type Verdict int
+
+const (
+	PotentiallyBenign Verdict = iota
+	PotentiallyHarmful
+)
+
+func (v Verdict) String() string {
+	if v == PotentiallyBenign {
+		return "potentially-benign"
+	}
+	return "potentially-harmful"
+}
+
+// InstanceSample is one analyzed instance kept for the race report: it
+// pins down the exact replay coordinates a developer needs to reproduce
+// both orders (§4.4).
+type InstanceSample struct {
+	Scenario     string
+	Seed         int64
+	Outcome      vproc.Outcome
+	FailReason   string
+	Diffs        []vproc.Diff
+	Addr         uint64
+	TIDA, TIDB   int
+	RegionA      int // Region.Global in the scenario's replay
+	RegionB      int
+	IdxA, IdxB   uint64
+	PCA, PCB     int
+	OrigValA     uint64 // value observed at the first access in the recording
+	OrigValB     uint64
+	FirstIsWrite bool
+	SecondWrite  bool
+}
+
+// RaceResult is the classification of one unique static race, accumulated
+// over every instance in every execution analyzed so far.
+type RaceResult struct {
+	Sites hb.SitePair
+
+	Total int // instances analyzed
+	NSC   int // No-State-Change instances
+	SC    int // State-Change instances
+	RF    int // Replay-Failure instances
+
+	Group      Group
+	Verdict    Verdict
+	Suppressed bool // developer marked this race benign in the DB
+
+	Samples []InstanceSample // representative instances (bounded)
+}
+
+// Exposing counts the instances that exposed a difference (SC + RF) — the
+// quantity Figure 4/5 plot next to the totals.
+func (r *RaceResult) Exposing() int { return r.SC + r.RF }
+
+// Confidence grades a potentially-benign verdict by how many instances
+// support it — §4.3: "the greater the number of instances studied, the
+// greater is the confidence that a data race is benign". Potentially
+// harmful verdicts are evidence-positive (one exposing instance proves
+// the possibility), so they always grade "confirmed".
+func (r *RaceResult) Confidence() string {
+	if r.Verdict == PotentiallyHarmful {
+		return "confirmed"
+	}
+	switch {
+	case r.Total >= 10:
+		return "high"
+	case r.Total >= 3:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
+func (r *RaceResult) recompute() {
+	switch {
+	case r.SC > 0:
+		r.Group = GroupStateChange
+	case r.RF > 0:
+		r.Group = GroupReplayFailure
+	default:
+		r.Group = GroupNoStateChange
+	}
+	if r.Group == GroupNoStateChange {
+		r.Verdict = PotentiallyBenign
+	} else {
+		r.Verdict = PotentiallyHarmful
+	}
+}
+
+// Classification is the aggregated result over one or more executions.
+type Classification struct {
+	Races []*RaceResult
+}
+
+// Race finds a race by sites, or nil.
+func (c *Classification) Race(sites hb.SitePair) *RaceResult {
+	for _, r := range c.Races {
+		if r.Sites == sites {
+			return r
+		}
+	}
+	return nil
+}
+
+// TotalInstances sums analyzed instances over all races.
+func (c *Classification) TotalInstances() int {
+	n := 0
+	for _, r := range c.Races {
+		n += r.Total
+	}
+	return n
+}
+
+// CountByVerdict returns (potentially benign, potentially harmful),
+// excluding suppressed races from the harmful count (they are no longer
+// reported to developers).
+func (c *Classification) CountByVerdict() (benign, harmful int) {
+	for _, r := range c.Races {
+		if r.Verdict == PotentiallyBenign {
+			benign++
+		} else if !r.Suppressed {
+			harmful++
+		}
+	}
+	return
+}
+
+// Options tunes classification.
+type Options struct {
+	// Scenario labels samples for reproduction (typically the workload
+	// scenario name).
+	Scenario string
+	// Seed is recorded into samples alongside the scenario.
+	Seed int64
+	// MaxInstancesPerRace bounds how many instances of one race are
+	// analyzed per execution (0 = all). The paper analyzes every instance;
+	// the bound exists for exploratory runs.
+	MaxInstancesPerRace int
+	// MaxSamplesPerRace bounds retained samples (default 4).
+	MaxSamplesPerRace int
+	// DB, when set, suppresses races a developer marked benign.
+	DB *DB
+	// UseOracle enables the §4.2.1 extension: a versioned-memory oracle
+	// lets the virtual processor continue through reads the two regions'
+	// live-ins never captured, instead of declaring a replay failure.
+	UseOracle bool
+	// Parallel runs dual-order instance replays on this many goroutines
+	// (0 or 1 = serial). Instances are independent — each virtual
+	// processor only reads the replayed execution — so the result is
+	// bit-identical to the serial run; this is purely a wall-clock lever
+	// for the offline analysis (the paper's 280x stage).
+	Parallel int
+}
+
+// Run analyzes every instance of every race in report and returns the
+// per-race classification for this single execution.
+func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classification {
+	if opts.MaxSamplesPerRace <= 0 {
+		opts.MaxSamplesPerRace = 4
+	}
+	var vopts vproc.Options
+	if opts.UseOracle {
+		vopts.Oracle = replay.BuildVersionedMemory(exec)
+	}
+	cls := &Classification{}
+	for _, race := range report.Races {
+		rr := &RaceResult{Sites: race.Sites}
+		instances := race.Instances
+		if opts.MaxInstancesPerRace > 0 && len(instances) > opts.MaxInstancesPerRace {
+			instances = instances[:opts.MaxInstancesPerRace]
+		}
+		results := analyzeInstances(exec, instances, vopts, opts.Parallel)
+		for i, inst := range instances {
+			res := results[i]
+			rr.Total++
+			switch res.Outcome {
+			case vproc.NoStateChange:
+				rr.NSC++
+			case vproc.StateChange:
+				rr.SC++
+			case vproc.ReplayFailure:
+				rr.RF++
+			}
+			// Keep the first sample of each outcome kind, then fill up.
+			keep := len(rr.Samples) < opts.MaxSamplesPerRace &&
+				(len(rr.Samples) == 0 || res.Outcome != vproc.NoStateChange || rr.SC+rr.RF == 0)
+			if keep {
+				rr.Samples = append(rr.Samples, InstanceSample{
+					Scenario:     opts.Scenario,
+					Seed:         opts.Seed,
+					Outcome:      res.Outcome,
+					FailReason:   res.FailReason,
+					Diffs:        res.Diffs,
+					Addr:         inst.Addr,
+					TIDA:         inst.RegionA.TID,
+					TIDB:         inst.RegionB.TID,
+					RegionA:      inst.RegionA.Global,
+					RegionB:      inst.RegionB.Global,
+					IdxA:         inst.First.Idx,
+					IdxB:         inst.Second.Idx,
+					PCA:          inst.First.PC,
+					PCB:          inst.Second.PC,
+					OrigValA:     inst.First.Val,
+					OrigValB:     inst.Second.Val,
+					FirstIsWrite: inst.First.IsWrite,
+					SecondWrite:  inst.Second.IsWrite,
+				})
+			}
+		}
+		rr.recompute()
+		if opts.DB != nil && opts.DB.IsMarkedBenign(rr.Sites) {
+			rr.Suppressed = true
+		}
+		cls.Races = append(cls.Races, rr)
+	}
+	sortRaces(cls.Races)
+	return cls
+}
+
+// analyzeInstances runs the dual-order analysis for every instance,
+// optionally fanned out over workers. Results are indexed by instance, so
+// aggregation order (and hence the outcome) is identical either way.
+func analyzeInstances(exec *replay.Execution, instances []hb.Instance, vopts vproc.Options, parallel int) []vproc.Result {
+	results := make([]vproc.Result, len(instances))
+	pairOf := func(inst hb.Instance) vproc.RacePair {
+		return vproc.RacePair{
+			RegionA: inst.RegionA, RegionB: inst.RegionB,
+			IdxA: inst.First.Idx, IdxB: inst.Second.Idx,
+			PCA: inst.First.PC, PCB: inst.Second.PC,
+			Addr: inst.Addr,
+		}
+	}
+	if parallel <= 1 || len(instances) < 2 {
+		for i, inst := range instances {
+			results[i] = vproc.AnalyzeOpts(exec, pairOf(inst), vopts)
+		}
+		return results
+	}
+	if parallel > runtime.NumCPU() {
+		parallel = runtime.NumCPU()
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = vproc.AnalyzeOpts(exec, pairOf(instances[i]), vopts)
+			}
+		}()
+	}
+	for i := range instances {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// Merge folds other executions' classifications into dst, accumulating
+// instance counts per unique race and re-deriving groups and verdicts —
+// this is how one race observed across the paper's 18 executions ends up
+// with a single classification.
+func Merge(parts ...*Classification) *Classification {
+	bySites := make(map[hb.SitePair]*RaceResult)
+	out := &Classification{}
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, r := range part.Races {
+			dst := bySites[r.Sites]
+			if dst == nil {
+				dst = &RaceResult{Sites: r.Sites, Suppressed: r.Suppressed}
+				bySites[r.Sites] = dst
+				out.Races = append(out.Races, dst)
+			}
+			dst.Total += r.Total
+			dst.NSC += r.NSC
+			dst.SC += r.SC
+			dst.RF += r.RF
+			dst.Suppressed = dst.Suppressed || r.Suppressed
+			for _, s := range r.Samples {
+				if len(dst.Samples) < 8 {
+					dst.Samples = append(dst.Samples, s)
+				}
+			}
+		}
+	}
+	for _, r := range out.Races {
+		r.recompute()
+	}
+	sortRaces(out.Races)
+	return out
+}
+
+func sortRaces(races []*RaceResult) {
+	sort.Slice(races, func(i, j int) bool {
+		a, b := races[i].Sites, races[j].Sites
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+}

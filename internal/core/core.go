@@ -1,0 +1,72 @@
+// Package core wires the full pipeline of the paper together: record a
+// program's execution into a replay log, replay it, find the data races
+// with the happens-before detector, and classify every race by replaying
+// both orders of each instance in a virtual processor.
+//
+// This is the programmatic entry point the CLI, the examples, and the
+// benchmark harness all build on; the root racereplay package re-exports
+// it as the public API.
+package core
+
+import (
+	"repro/internal/classify"
+	"repro/internal/hb"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/record"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Result bundles everything one analyzed execution produces.
+type Result struct {
+	Prog           *isa.Program
+	Log            *trace.Log
+	Machine        *machine.Result
+	Exec           *replay.Execution
+	Races          *hb.Report
+	Classification *classify.Classification
+}
+
+// LogStats measures the recorded log's footprint (§5.1 metrics).
+func (r *Result) LogStats() trace.SizeStats { return trace.Stats(r.Log) }
+
+// Record runs prog under cfg and returns its replay log (the online half
+// of the pipeline; everything else is offline analysis over the log).
+func Record(prog *isa.Program, cfg machine.Config) (*trace.Log, *machine.Result, error) {
+	return record.Run(prog, cfg)
+}
+
+// AnalyzeLog runs the offline half over an existing log: replay,
+// happens-before detection, and dual-order classification.
+func AnalyzeLog(log *trace.Log, opts classify.Options) (*Result, error) {
+	exec, err := replay.Run(log, replay.Options{})
+	if err != nil {
+		return nil, err
+	}
+	races := hb.Detect(exec)
+	return &Result{
+		Prog:           log.Prog,
+		Log:            log,
+		Exec:           exec,
+		Races:          races,
+		Classification: classify.Run(exec, races, opts),
+	}, nil
+}
+
+// Analyze is the whole pipeline: record prog, then analyze the log.
+func Analyze(prog *isa.Program, cfg machine.Config, opts classify.Options) (*Result, error) {
+	log, mres, err := Record(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	res, err := AnalyzeLog(log, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Machine = mres
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/classify"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+const racySrc = `
+.entry main
+.word n 0
+worker:
+  ldi r2, 10
+wloop:
+  ldi r4, n
+  ld r5, [r4+0]
+  addi r5, r5, 1
+  st [r4+0], r5
+  sys sysnop
+  addi r2, r2, -1
+  bne r2, r0, wloop
+  ldi r1, 0
+  sys exit
+main:
+  ldi r1, worker
+  ldi r2, 0
+  sys spawn
+  mov r6, r1
+  ldi r1, worker
+  sys spawn
+  mov r7, r1
+  mov r1, r6
+  sys join
+  mov r1, r7
+  sys join
+  halt
+`
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(prog, machine.Config{Seed: 4}, classify.Options{Scenario: "core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine == nil || res.Log == nil || res.Exec == nil || res.Races == nil || res.Classification == nil {
+		t.Fatal("incomplete result")
+	}
+	if res.Log.Instructions() == 0 {
+		t.Error("empty log")
+	}
+	if res.LogStats().RawBytes == 0 {
+		t.Error("empty stats")
+	}
+	// Classification covers exactly the detected races.
+	if len(res.Classification.Races) != len(res.Races.Races) {
+		t.Errorf("classified %d of %d races", len(res.Classification.Races), len(res.Races.Races))
+	}
+	// Seed defaulting: opts.Seed inherits cfg.Seed.
+	for _, r := range res.Classification.Races {
+		for _, s := range r.Samples {
+			if s.Seed != 4 {
+				t.Errorf("sample seed = %d, want 4", s.Seed)
+			}
+		}
+	}
+}
+
+func TestAnalyzeLogMatchesAnalyze(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := Record(prog, machine.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the log through serialization before the offline half.
+	log2, err := trace.Unmarshal(trace.Marshal(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeLog(log2, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(prog, machine.Config{Seed: 9}, classify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Races.Races) != len(b.Races.Races) {
+		t.Errorf("race counts differ: %d vs %d", len(a.Races.Races), len(b.Races.Races))
+	}
+	if a.Classification.TotalInstances() != b.Classification.TotalInstances() {
+		t.Errorf("instance counts differ: %d vs %d",
+			a.Classification.TotalInstances(), b.Classification.TotalInstances())
+	}
+}
+
+func TestAnalyzeRejectsBadProgram(t *testing.T) {
+	prog, err := asm.Assemble("empty", "main:\n  halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Entry = 99 // corrupt after assembly
+	if _, err := Analyze(prog, machine.Config{Seed: 1}, classify.Options{}); err == nil {
+		t.Error("corrupt program accepted")
+	}
+}

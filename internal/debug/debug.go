@@ -1,0 +1,198 @@
+// Package debug implements a time-travel debugger over replay logs —
+// the iDNA facility the paper couples with its race reports ("the ability
+// to do reverse execution (also called time travel debugging) ...
+// provides a powerful platform for the developers to examine the
+// potentially harmful data races", §1).
+//
+// Navigation is at sequencing-region granularity: position p means "the
+// first p regions of the schedule have executed". Stepping backwards is
+// replaying a shorter prefix — the log makes any point in time
+// reconstructible.
+package debug
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Debugger navigates one recorded execution. Seeks are served from the
+// nearest key frame (a replay.Snapshot taken every few regions during the
+// initial pass), so stepping backwards costs O(checkpoint interval), not
+// O(prefix).
+type Debugger struct {
+	log    *trace.Log
+	sess   *replay.Session
+	full   *replay.Execution // the session's execution, fully processed once
+	vm     *replay.VersionedMemory
+	frames []*replay.Snapshot // key frames, ascending by position
+}
+
+// New builds a debugger positioned at the end of the execution.
+func New(log *trace.Log) (*Debugger, error) {
+	sess, err := replay.NewSession(log, replay.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d := &Debugger{log: log, sess: sess, full: sess.Exec()}
+	// Initial pass: process everything, dropping a key frame every
+	// `interval` regions (including one at position 0).
+	total := len(d.full.Regions)
+	interval := 1
+	for interval*interval < total {
+		interval++
+	}
+	for !sess.Done() {
+		if sess.Pos()%interval == 0 {
+			d.frames = append(d.frames, sess.Snapshot())
+		}
+		if err := sess.StepRegion(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sess.Finish(); err != nil {
+		return nil, err
+	}
+	d.vm = replay.BuildVersionedMemory(d.full)
+	return d, nil
+}
+
+// Len returns the number of sequencing regions in the schedule.
+func (d *Debugger) Len() int { return len(d.full.Regions) }
+
+// Pos returns the current position (regions executed so far).
+func (d *Debugger) Pos() int { return d.sess.Pos() }
+
+// Seek repositions to pos (clamped to [1, Len]): restore the nearest key
+// frame at or before pos (only when moving backwards past the current
+// position) and step forward the remainder.
+func (d *Debugger) Seek(pos int) error {
+	if pos < 1 {
+		pos = 1
+	}
+	if pos > d.Len() {
+		pos = d.Len()
+	}
+	if pos < d.sess.Pos() {
+		frame := d.frames[0]
+		for _, f := range d.frames {
+			if f.Pos() <= pos {
+				frame = f
+			} else {
+				break
+			}
+		}
+		d.sess.Restore(frame)
+	}
+	for d.sess.Pos() < pos {
+		if err := d.sess.StepRegion(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances n regions (negative steps backwards).
+func (d *Debugger) Step(n int) error { return d.Seek(d.Pos() + n) }
+
+// Mem reads the reconstructed memory image at the current position.
+// Unwritten addresses read as zero (and report false).
+func (d *Debugger) Mem(addr uint64) (uint64, bool) {
+	v, ok := d.sess.Exec().FinalMem[addr]
+	return v, ok
+}
+
+// Thread returns the architectural state of tid at the current position.
+func (d *Debugger) Thread(tid int) (machine.Cpu, bool) {
+	return d.sess.ThreadCpu(tid)
+}
+
+// Output returns what tid has printed up to the current position.
+func (d *Debugger) Output(tid int) []int64 {
+	if t := d.sess.Exec().Thread(tid); t != nil {
+		return t.Output
+	}
+	return nil
+}
+
+// Region describes schedule entry i (independent of position).
+func (d *Debugger) Region(i int) (*replay.Region, bool) {
+	if i < 0 || i >= d.Len() {
+		return nil, false
+	}
+	return d.full.Regions[i], true
+}
+
+// WritesTo lists the schedule positions whose region wrote addr, with the
+// value written — "when did this variable change?", the core time-travel
+// question.
+func (d *Debugger) WritesTo(addr uint64) []Write {
+	var out []Write
+	for _, reg := range d.full.Regions {
+		for _, acc := range reg.Accesses {
+			if acc.Addr == addr && acc.IsWrite {
+				out = append(out, Write{Pos: reg.Global + 1, TID: reg.TID, PC: acc.PC, Val: acc.Val})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// Write is one recorded store to a watched address.
+type Write struct {
+	Pos int // schedule position after which the write is visible
+	TID int
+	PC  int
+	Val uint64
+}
+
+// FirstWriteTo finds the earliest schedule position at which addr holds a
+// non-zero value — a root-cause search helper.
+func (d *Debugger) FirstWriteTo(addr uint64) (Write, bool) {
+	ws := d.WritesTo(addr)
+	if len(ws) == 0 {
+		return Write{}, false
+	}
+	return ws[0], true
+}
+
+// ThreadStateAt answers an instruction-granular per-thread state query
+// straight from the log (resuming from a key frame when the log has
+// them) — finer than the debugger's region-granular position.
+func (d *Debugger) ThreadStateAt(tid int, idx uint64) (*replay.ThreadState, error) {
+	return replay.ThreadStateAt(d.log, tid, idx)
+}
+
+// ValueBefore asks the versioned memory what addr held before schedule
+// entry global ran.
+func (d *Debugger) ValueBefore(addr uint64, global int) (uint64, bool) {
+	return d.vm.Before(addr, global)
+}
+
+// Summary renders the current position: which region just ran, per-thread
+// progress.
+func (d *Debugger) Summary() string {
+	var b strings.Builder
+	pos := d.Pos()
+	fmt.Fprintf(&b, "position %d/%d", pos, d.Len())
+	if pos >= 1 {
+		r := d.full.Regions[pos-1]
+		fmt.Fprintf(&b, "  (last region: thread %d, %s..%s, instructions %d..%d)",
+			r.TID, r.StartKind, r.EndKind, r.StartIdx, r.EndIdx)
+	}
+	b.WriteString("\n")
+	for _, t := range d.sess.Exec().Threads {
+		cpu, _ := d.sess.ThreadCpu(t.TID)
+		fmt.Fprintf(&b, "  thread %d: pc %d (%s)", t.TID, cpu.PC, d.full.Prog.SiteOf(cpu.PC))
+		if len(t.Output) > 0 {
+			fmt.Fprintf(&b, " output %v", t.Output)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// REPL runs a scriptable debugger session: one command per line from in,
+// responses to out. Commands:
+//
+//	pos              show the current position and thread states
+//	step [n]         run n regions forward (default 1)
+//	back [n]         run n regions backward (default 1)
+//	seek N           jump to position N
+//	mem ADDR         read a memory word (hex 0x.. or decimal)
+//	regs TID         show a thread's registers
+//	tstate TID IDX   registers of TID after exactly IDX instructions
+//	output TID       show a thread's printed values so far
+//	regions          list the region schedule
+//	writes ADDR      list every write to ADDR across the execution
+//	first ADDR       earliest write to ADDR (root-cause helper)
+//	quit             end the session
+func REPL(log *trace.Log, in io.Reader, out io.Writer) error {
+	d, err := New(log)
+	if err != nil {
+		return err
+	}
+	if err := d.Seek(1); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "time-travel debugger: %d regions, %d threads (type 'help')\n", d.Len(), len(d.full.Threads))
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "q", "exit":
+			return nil
+		case "help":
+			fmt.Fprintln(out, "commands: pos step back seek mem regs tstate output regions writes first quit")
+		case "pos":
+			fmt.Fprint(out, d.Summary())
+		case "step":
+			n := argInt(args, 0, 1)
+			if err := d.Step(n); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, d.Summary())
+		case "back":
+			n := argInt(args, 0, 1)
+			if err := d.Step(-n); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, d.Summary())
+		case "seek":
+			if err := d.Seek(argInt(args, 0, 1)); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, d.Summary())
+		case "mem":
+			addr, err := parseAddr(args)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			v, known := d.Mem(addr)
+			if known {
+				fmt.Fprintf(out, "mem[0x%x] = %d\n", addr, v)
+			} else {
+				fmt.Fprintf(out, "mem[0x%x] = 0 (never written up to here)\n", addr)
+			}
+		case "regs":
+			tid := argInt(args, 0, 0)
+			cpu, ok := d.Thread(tid)
+			if !ok {
+				fmt.Fprintf(out, "no thread %d\n", tid)
+				continue
+			}
+			fmt.Fprintf(out, "thread %d pc=%d\n", tid, cpu.PC)
+			for i, r := range cpu.Regs {
+				if r != 0 {
+					fmt.Fprintf(out, "  r%-2d = %d\n", i, r)
+				}
+			}
+		case "tstate":
+			tid := argInt(args, 0, 0)
+			idx := argInt(args, 1, 0)
+			st, err := d.ThreadStateAt(tid, uint64(idx))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintf(out, "thread %d after %d instructions: pc=%d\n", tid, idx, st.Cpu.PC)
+			for i, r := range st.Cpu.Regs {
+				if r != 0 {
+					fmt.Fprintf(out, "  r%-2d = %d\n", i, r)
+				}
+			}
+		case "output":
+			tid := argInt(args, 0, 0)
+			fmt.Fprintf(out, "thread %d output: %v\n", tid, d.Output(tid))
+		case "regions":
+			for i := 0; i < d.Len(); i++ {
+				r, _ := d.Region(i)
+				marker := "  "
+				if i == d.Pos()-1 {
+					marker = "=>"
+				}
+				fmt.Fprintf(out, "%s %3d thread %d  [%s..%s)  idx %d..%d  (%d accesses)\n",
+					marker, i+1, r.TID, r.StartKind, r.EndKind, r.StartIdx, r.EndIdx, len(r.Accesses))
+			}
+		case "writes":
+			addr, err := parseAddr(args)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			ws := d.WritesTo(addr)
+			if len(ws) == 0 {
+				fmt.Fprintf(out, "no writes to 0x%x\n", addr)
+				continue
+			}
+			for _, w := range ws {
+				fmt.Fprintf(out, "  pos %3d: thread %d stores %d (pc %d, %s)\n",
+					w.Pos, w.TID, w.Val, w.PC, d.full.Prog.SiteOf(w.PC))
+			}
+		case "first":
+			addr, err := parseAddr(args)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if w, ok := d.FirstWriteTo(addr); ok {
+				fmt.Fprintf(out, "first write at pos %d: thread %d stores %d (%s)\n",
+					w.Pos, w.TID, w.Val, d.full.Prog.SiteOf(w.PC))
+			} else {
+				fmt.Fprintf(out, "0x%x is never written\n", addr)
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
+		}
+	}
+	return sc.Err()
+}
+
+func argInt(args []string, i, def int) int {
+	if i >= len(args) {
+		return def
+	}
+	n, err := strconv.Atoi(args[i])
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func parseAddr(args []string) (uint64, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("address required")
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), hexOrDec(args[0]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", args[0])
+	}
+	return v, nil
+}
+
+func hexOrDec(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}

@@ -1,0 +1,291 @@
+// Package hb finds data races in a replayed execution.
+//
+// The primary detector (Detect) is the paper's algorithm: two memory
+// operations race when they execute in overlapping sequencing regions of
+// different threads, touch the same address, at least one is a write, and
+// neither is a lock-prefixed access. Region overlap is exactly "no
+// sequencer orders the two operations", so the detector reports no false
+// positives with respect to the recorded execution.
+//
+// DetectVC is the vector-clock ablation: it tracks the true happens-before
+// partial order induced by spawn/join, lock release→acquire, and atomic
+// operations, and flags conflicting accesses in concurrent regions. It can
+// report races between regions whose timestamp intervals happen to be
+// disjoint even though no synchronization separates them — pairs the
+// interval test misses (DESIGN.md, ablation A1).
+package hb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// SitePair is the unordered static identity of a race: the two instruction
+// sites, ordered lexicographically so the same race keys identically in
+// every scenario.
+type SitePair struct {
+	A, B string
+}
+
+// MakeSitePair normalizes the order of two sites.
+func MakeSitePair(x, y string) SitePair {
+	if y < x {
+		x, y = y, x
+	}
+	return SitePair{A: x, B: y}
+}
+
+func (p SitePair) String() string { return p.A + " <-> " + p.B }
+
+// Instance is one dynamic occurrence of a race: a specific pair of
+// conflicting accesses in a specific pair of overlapping regions. First is
+// the access from the region scheduled earlier; the recorded ("original")
+// order is approximated as First-then-Second, and the classifier replays
+// both orders regardless.
+type Instance struct {
+	First, Second    replay.Access
+	RegionA, RegionB *replay.Region // regions of First and Second respectively
+	Addr             uint64
+}
+
+// Race is a unique static data race with all its observed instances.
+type Race struct {
+	Sites     SitePair
+	Instances []Instance
+}
+
+// Report is the detector output for one execution.
+type Report struct {
+	Races          []*Race
+	TotalInstances int
+}
+
+// Race returns the race with the given site pair, or nil.
+func (r *Report) Race(sites SitePair) *Race {
+	for _, race := range r.Races {
+		if race.Sites == sites {
+			return race
+		}
+	}
+	return nil
+}
+
+// accessRef ties an access to its region for the per-address index.
+type accessRef struct {
+	acc replay.Access
+	reg *replay.Region
+}
+
+// Detect runs the paper's region-overlap detector over exec.
+func Detect(exec *replay.Execution) *Report {
+	return detect(exec, func(a, b *replay.Region) bool { return a.Overlaps(b) })
+}
+
+// detect is the shared conflict search, parameterized by the concurrency
+// test on region pairs.
+func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *Report {
+	// Index data accesses by address. Atomic (lock-prefixed) accesses are
+	// synchronization, not data: skip them here.
+	byAddr := make(map[uint64][]accessRef)
+	for _, reg := range exec.Regions {
+		for _, acc := range reg.Accesses {
+			if acc.Atomic {
+				continue
+			}
+			byAddr[acc.Addr] = append(byAddr[acc.Addr], accessRef{acc: acc, reg: reg})
+		}
+	}
+
+	races := make(map[SitePair]*Race)
+	total := 0
+	// seen dedupes instances: one per (site pair, region pair, address).
+	type instKey struct {
+		sites  SitePair
+		ga, gb int
+		addr   uint64
+	}
+	seen := make(map[instKey]bool)
+
+	addrs := make([]uint64, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for _, addr := range addrs {
+		refs := byAddr[addr]
+		// Group by region, preserving schedule order.
+		type group struct {
+			reg    *replay.Region
+			reads  []replay.Access
+			writes []replay.Access
+		}
+		var groups []*group
+		idx := make(map[int]*group)
+		for _, ref := range refs {
+			g := idx[ref.reg.Global]
+			if g == nil {
+				g = &group{reg: ref.reg}
+				idx[ref.reg.Global] = g
+				groups = append(groups, g)
+			}
+			if ref.acc.IsWrite {
+				g.writes = append(g.writes, ref.acc)
+			} else {
+				g.reads = append(g.reads, ref.acc)
+			}
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i].reg.Global < groups[j].reg.Global })
+
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				ga, gb := groups[i], groups[j]
+				if ga.reg.TID == gb.reg.TID || !concurrent(ga.reg, gb.reg) {
+					continue
+				}
+				// Conflicting pairs: write/write, write/read, read/write.
+				emit := func(a, b replay.Access) {
+					sites := MakeSitePair(a.Site(exec.Prog), b.Site(exec.Prog))
+					k := instKey{sites: sites, ga: ga.reg.Global, gb: gb.reg.Global, addr: addr}
+					if seen[k] {
+						return
+					}
+					seen[k] = true
+					race := races[sites]
+					if race == nil {
+						race = &Race{Sites: sites}
+						races[sites] = race
+					}
+					race.Instances = append(race.Instances, Instance{
+						First:   a,
+						Second:  b,
+						RegionA: ga.reg,
+						RegionB: gb.reg,
+						Addr:    addr,
+					})
+					total++
+				}
+				for _, w := range ga.writes {
+					for _, x := range gb.writes {
+						emit(w, x)
+					}
+					for _, r := range gb.reads {
+						emit(w, r)
+					}
+				}
+				for _, r := range ga.reads {
+					for _, w := range gb.writes {
+						emit(r, w)
+					}
+				}
+			}
+		}
+	}
+
+	rep := &Report{TotalInstances: total}
+	for _, race := range races {
+		rep.Races = append(rep.Races, race)
+	}
+	sort.Slice(rep.Races, func(i, j int) bool {
+		a, b := rep.Races[i].Sites, rep.Races[j].Sites
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return rep
+}
+
+// DetectVC runs the vector-clock variant: regions get clocks from the
+// synchronization structure, and conflicting accesses in VC-concurrent
+// regions race.
+func DetectVC(exec *replay.Execution) (*Report, error) {
+	clocks, err := RegionClocks(exec)
+	if err != nil {
+		return nil, err
+	}
+	return detect(exec, func(a, b *replay.Region) bool {
+		return clocks[a.Global].Concurrent(clocks[b.Global])
+	}), nil
+}
+
+// RegionClocks computes one vector clock per region (indexed by
+// Region.Global) from the synchronization events the replay annotated:
+// thread program order, spawn → child start, child end → join, unlock →
+// later lock of the same address, and atomics on the same address in
+// timestamp order.
+func RegionClocks(exec *replay.Execution) ([]vclock.VC, error) {
+	nThreads := len(exec.Threads)
+	clocks := make([]vclock.VC, len(exec.Regions))
+	threadVC := make(map[int]vclock.VC, nThreads)
+	releaseVC := make(map[uint64]vclock.VC) // lock addr -> release clock
+	atomicVC := make(map[uint64]vclock.VC)  // atomic addr -> last clock
+	endVC := make(map[int]vclock.VC)        // tid -> final clock
+
+	// Map child tid -> parent's clock at spawn time. Fill lazily: the
+	// schedule guarantees the parent's pre-spawn region is processed
+	// before the child's first region, so threadVC[parent] is exactly the
+	// pre-spawn clock when the child's SeqStart region comes up. Identify
+	// the parent by matching the child's StartTS against spawn sequencers.
+	spawnParent := make(map[int]int)
+	for _, tl := range exec.Log.Threads {
+		for _, s := range tl.Seqs {
+			if s.Kind == trace.SeqSyscall && s.Aux == isa.SysSpawn {
+				for _, child := range exec.Log.Threads {
+					if child.TID != tl.TID && child.StartTS == s.TS {
+						spawnParent[child.TID] = tl.TID
+					}
+				}
+			}
+		}
+	}
+
+	for _, reg := range exec.Regions {
+		tid := reg.TID
+		vc, started := threadVC[tid]
+		if !started {
+			vc = vclock.New(nThreads)
+		}
+		switch reg.StartKind {
+		case trace.SeqStart:
+			if parent, ok := spawnParent[tid]; ok {
+				vc = vc.Join(threadVC[parent])
+			}
+		case trace.SeqLock:
+			if rel, ok := releaseVC[reg.SyncAddr]; ok {
+				vc = vc.Join(rel)
+			}
+		case trace.SeqUnlock:
+			// The release carries everything before the unlock.
+			releaseVC[reg.SyncAddr] = vc.Clone()
+		case trace.SeqAtomic:
+			// Acquire-release on the atomic's address.
+			if prev, ok := atomicVC[reg.SyncAddr]; ok {
+				vc = vc.Join(prev)
+			}
+		case trace.SeqSyscall:
+			if reg.JoinTarget >= 0 {
+				child, ok := endVC[reg.JoinTarget]
+				if !ok {
+					return nil, fmt.Errorf("hb: join of thread %d before its regions were processed", reg.JoinTarget)
+				}
+				vc = vc.Join(child)
+			}
+		}
+		vc = vc.Tick(tid)
+		if reg.StartKind == trace.SeqAtomic {
+			atomicVC[reg.SyncAddr] = vc.Clone()
+		}
+		clocks[reg.Global] = vc.Clone()
+		threadVC[tid] = vc
+		if reg.EndKind == trace.SeqEnd {
+			endVC[tid] = vc.Clone()
+		}
+	}
+	return clocks, nil
+}

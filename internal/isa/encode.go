@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstrSize is the fixed byte width of one encoded instruction:
+// op(1) rd(1) rs1(1) rs2(1) imm(8, little-endian two's complement).
+const InstrSize = 12
+
+// Encode appends the binary encoding of ins to dst and returns the
+// extended slice.
+func Encode(dst []byte, ins Instr) []byte {
+	var buf [InstrSize]byte
+	buf[0] = byte(ins.Op)
+	buf[1] = ins.Rd
+	buf[2] = ins.Rs1
+	buf[3] = ins.Rs2
+	binary.LittleEndian.PutUint64(buf[4:], uint64(ins.Imm))
+	return append(dst, buf[:]...)
+}
+
+// Decode reads one instruction from src. It returns an error when src is
+// short, the opcode is undefined, or a register field is out of range.
+func Decode(src []byte) (Instr, error) {
+	if len(src) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: short instruction: %d bytes", len(src))
+	}
+	ins := Instr{
+		Op:  Op(src[0]),
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int64(binary.LittleEndian.Uint64(src[4:InstrSize])),
+	}
+	if !ins.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d", src[0])
+	}
+	if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: register out of range in %v", ins)
+	}
+	return ins, nil
+}
+
+// EncodeCode serializes a whole code segment.
+func EncodeCode(code []Instr) []byte {
+	out := make([]byte, 0, len(code)*InstrSize)
+	for _, ins := range code {
+		out = Encode(out, ins)
+	}
+	return out
+}
+
+// DecodeCode deserializes a code segment produced by EncodeCode.
+func DecodeCode(src []byte) ([]Instr, error) {
+	if len(src)%InstrSize != 0 {
+		return nil, fmt.Errorf("isa: code segment length %d not a multiple of %d", len(src), InstrSize)
+	}
+	code := make([]Instr, 0, len(src)/InstrSize)
+	for off := 0; off < len(src); off += InstrSize {
+		ins, err := Decode(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		code = append(code, ins)
+	}
+	return code, nil
+}

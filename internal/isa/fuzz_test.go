@@ -1,0 +1,26 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes must never panic, and anything accepted
+// must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(nil, Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(Encode(nil, Instr{Op: OpSys, Imm: SysPrint}))
+	f.Add([]byte{255, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(nil, ins)
+		if len(data) < InstrSize {
+			t.Fatal("decode accepted short input")
+		}
+		for i := 0; i < InstrSize; i++ {
+			if enc[i] != data[i] {
+				t.Fatalf("byte %d: re-encode %d vs input %d", i, enc[i], data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package machine
+
+import "repro/internal/isa"
+
+// Cpu is the architectural state of one hardware context: the register
+// file and the program counter. It is shared by the live machine, the
+// replayer, and the classification virtual processor.
+type Cpu struct {
+	Regs [isa.NumRegs]uint64
+	PC   int
+}
+
+// SysOutcome reports how a system call resolved.
+type SysOutcome int
+
+const (
+	SysDone    SysOutcome = iota // completed; fall through to the next instruction
+	SysBlocked                   // cannot complete yet; retry the instruction later
+	SysExited                    // the calling thread terminated
+)
+
+// Env supplies the environment an executing instruction stream interacts
+// with: data memory, mutexes, and system calls. The atomic flag marks
+// accesses made by lock-prefixed instructions — they are synchronization,
+// not data, and the race detector must ignore them.
+type Env interface {
+	Load(addr uint64, atomic bool, pc int) (uint64, *Fault)
+	Store(addr, val uint64, atomic bool, pc int) *Fault
+	Lock(addr uint64, pc int) (blocked bool, f *Fault)
+	Unlock(addr uint64, pc int) *Fault
+	Syscall(cpu *Cpu, num int64, pc int) (SysOutcome, *Fault)
+}
+
+// Outcome is the result of executing (or attempting) one instruction.
+type Outcome int
+
+const (
+	StepContinue Outcome = iota // instruction retired
+	StepHalt                    // OpHalt retired; thread is done
+	StepBlocked                 // no side effects; retry the same pc later
+	StepExited                  // sys exit retired; thread is done
+	StepFault                   // thread crashed (fault describes why)
+)
+
+// Step executes the instruction at cpu.PC against env. On StepBlocked the
+// cpu is unchanged and the instruction did not retire; every other outcome
+// retires exactly one instruction. Instructions execute atomically with
+// respect to other threads because the scheduler interleaves whole
+// instructions — which is what makes lock-prefixed RMW ops atomic without
+// any extra machinery.
+func Step(cpu *Cpu, code []isa.Instr, env Env) (Outcome, *Fault) {
+	if cpu.PC < 0 || cpu.PC >= len(code) {
+		return StepFault, &Fault{Kind: FaultBadJump, PC: cpu.PC}
+	}
+	// r0 is hardwired to zero: clearing it on entry makes every read of r0
+	// within this instruction see zero, and any write to it from the
+	// previous instruction vanish.
+	cpu.Regs[isa.Zero] = 0
+	ins := code[cpu.PC]
+	r := &cpu.Regs
+	pc := cpu.PC
+	next := pc + 1
+
+	switch ins.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		cpu.PC = next
+		return StepHalt, nil
+
+	case isa.OpLdi:
+		r[ins.Rd] = uint64(ins.Imm)
+	case isa.OpMov:
+		r[ins.Rd] = r[ins.Rs1]
+
+	case isa.OpAdd:
+		r[ins.Rd] = r[ins.Rs1] + r[ins.Rs2]
+	case isa.OpSub:
+		r[ins.Rd] = r[ins.Rs1] - r[ins.Rs2]
+	case isa.OpMul:
+		r[ins.Rd] = r[ins.Rs1] * r[ins.Rs2]
+	case isa.OpDiv:
+		if r[ins.Rs2] == 0 {
+			return StepFault, &Fault{Kind: FaultDivZero, PC: pc}
+		}
+		r[ins.Rd] = uint64(int64(r[ins.Rs1]) / int64(r[ins.Rs2]))
+	case isa.OpMod:
+		if r[ins.Rs2] == 0 {
+			return StepFault, &Fault{Kind: FaultDivZero, PC: pc}
+		}
+		r[ins.Rd] = uint64(int64(r[ins.Rs1]) % int64(r[ins.Rs2]))
+	case isa.OpAnd:
+		r[ins.Rd] = r[ins.Rs1] & r[ins.Rs2]
+	case isa.OpOr:
+		r[ins.Rd] = r[ins.Rs1] | r[ins.Rs2]
+	case isa.OpXor:
+		r[ins.Rd] = r[ins.Rs1] ^ r[ins.Rs2]
+	case isa.OpShl:
+		r[ins.Rd] = r[ins.Rs1] << (r[ins.Rs2] & 63)
+	case isa.OpShr:
+		r[ins.Rd] = r[ins.Rs1] >> (r[ins.Rs2] & 63)
+
+	case isa.OpAddi:
+		r[ins.Rd] = r[ins.Rs1] + uint64(ins.Imm)
+	case isa.OpMuli:
+		r[ins.Rd] = r[ins.Rs1] * uint64(ins.Imm)
+	case isa.OpAndi:
+		r[ins.Rd] = r[ins.Rs1] & uint64(ins.Imm)
+	case isa.OpOri:
+		r[ins.Rd] = r[ins.Rs1] | uint64(ins.Imm)
+	case isa.OpXori:
+		r[ins.Rd] = r[ins.Rs1] ^ uint64(ins.Imm)
+	case isa.OpShli:
+		r[ins.Rd] = r[ins.Rs1] << (uint64(ins.Imm) & 63)
+	case isa.OpShri:
+		r[ins.Rd] = r[ins.Rs1] >> (uint64(ins.Imm) & 63)
+
+	case isa.OpNot:
+		r[ins.Rd] = ^r[ins.Rs1]
+	case isa.OpNeg:
+		r[ins.Rd] = -r[ins.Rs1]
+
+	case isa.OpLd:
+		v, f := env.Load(r[ins.Rs1]+uint64(ins.Imm), false, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		r[ins.Rd] = v
+	case isa.OpSt:
+		if f := env.Store(r[ins.Rs1]+uint64(ins.Imm), r[ins.Rs2], false, pc); f != nil {
+			return StepFault, f
+		}
+
+	case isa.OpBeq:
+		if r[ins.Rs1] == r[ins.Rs2] {
+			next = int(ins.Imm)
+		}
+	case isa.OpBne:
+		if r[ins.Rs1] != r[ins.Rs2] {
+			next = int(ins.Imm)
+		}
+	case isa.OpBlt:
+		if int64(r[ins.Rs1]) < int64(r[ins.Rs2]) {
+			next = int(ins.Imm)
+		}
+	case isa.OpBge:
+		if int64(r[ins.Rs1]) >= int64(r[ins.Rs2]) {
+			next = int(ins.Imm)
+		}
+	case isa.OpBltu:
+		if r[ins.Rs1] < r[ins.Rs2] {
+			next = int(ins.Imm)
+		}
+	case isa.OpBgeu:
+		if r[ins.Rs1] >= r[ins.Rs2] {
+			next = int(ins.Imm)
+		}
+	case isa.OpJmp:
+		next = int(ins.Imm)
+	case isa.OpJmpr:
+		t := int(int64(r[ins.Rs1]))
+		if t < 0 || t >= len(code) {
+			return StepFault, &Fault{Kind: FaultBadJump, PC: pc, Addr: r[ins.Rs1]}
+		}
+		next = t
+	case isa.OpCall:
+		sp := r[isa.SP] - 1
+		if f := env.Store(sp, uint64(next), false, pc); f != nil {
+			return StepFault, f
+		}
+		r[isa.SP] = sp
+		next = int(ins.Imm)
+	case isa.OpRet:
+		v, f := env.Load(r[isa.SP], false, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		t := int(int64(v))
+		if t < 0 || t >= len(code) {
+			return StepFault, &Fault{Kind: FaultBadJump, PC: pc, Addr: v}
+		}
+		r[isa.SP]++
+		next = t
+
+	case isa.OpCas:
+		ea := r[ins.Rs1] + uint64(ins.Imm)
+		old, f := env.Load(ea, true, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		if old == r[ins.Rd] {
+			if f := env.Store(ea, r[ins.Rs2], true, pc); f != nil {
+				return StepFault, f
+			}
+		}
+		r[ins.Rd] = old
+	case isa.OpXadd:
+		ea := r[ins.Rs1] + uint64(ins.Imm)
+		old, f := env.Load(ea, true, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		if f := env.Store(ea, old+r[ins.Rs2], true, pc); f != nil {
+			return StepFault, f
+		}
+		r[ins.Rd] = old
+	case isa.OpXchg:
+		ea := r[ins.Rs1] + uint64(ins.Imm)
+		old, f := env.Load(ea, true, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		if f := env.Store(ea, r[ins.Rs2], true, pc); f != nil {
+			return StepFault, f
+		}
+		r[ins.Rd] = old
+	case isa.OpOrm, isa.OpAndm, isa.OpXorm, isa.OpAddm:
+		ea := r[ins.Rs1] + uint64(ins.Imm)
+		v, f := env.Load(ea, false, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		switch ins.Op {
+		case isa.OpOrm:
+			v |= r[ins.Rs2]
+		case isa.OpAndm:
+			v &= r[ins.Rs2]
+		case isa.OpXorm:
+			v ^= r[ins.Rs2]
+		case isa.OpAddm:
+			v += r[ins.Rs2]
+		}
+		if f := env.Store(ea, v, false, pc); f != nil {
+			return StepFault, f
+		}
+
+	case isa.OpFence:
+		// Pure ordering: the sequencer the machine logs after this retires
+		// is its whole effect.
+
+	case isa.OpLock:
+		blocked, f := env.Lock(r[ins.Rs1]+uint64(ins.Imm), pc)
+		if f != nil {
+			return StepFault, f
+		}
+		if blocked {
+			return StepBlocked, nil
+		}
+	case isa.OpUnlock:
+		if f := env.Unlock(r[ins.Rs1]+uint64(ins.Imm), pc); f != nil {
+			return StepFault, f
+		}
+
+	case isa.OpSys:
+		out, f := env.Syscall(cpu, ins.Imm, pc)
+		if f != nil {
+			return StepFault, f
+		}
+		switch out {
+		case SysBlocked:
+			return StepBlocked, nil
+		case SysExited:
+			cpu.PC = next
+			return StepExited, nil
+		}
+
+	default:
+		return StepFault, &Fault{Kind: FaultInvalidOp, PC: pc}
+	}
+
+	cpu.PC = next
+	return StepContinue, nil
+}

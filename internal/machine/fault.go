@@ -1,0 +1,72 @@
+// Package machine implements the RVM: a deterministic multi-threaded
+// virtual machine for the isa instruction set.
+//
+// The machine interleaves threads at instruction granularity under a
+// seeded preemptive scheduler, so every run is a deterministic function of
+// (program, config). Synchronization instructions and system calls are the
+// only sync points — exactly the events the iDNA-style recorder timestamps
+// with sequencers.
+//
+// The instruction interpreter (Step) is shared by three backends: the live
+// machine itself, the log-driven replayer, and the classification virtual
+// processor. Each supplies its own Env for memory, synchronization, and
+// system calls.
+package machine
+
+import "fmt"
+
+// FaultKind enumerates the ways an RVM thread can crash.
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	FaultNullAccess
+	FaultUseAfterFree
+	FaultBadFree
+	FaultDivZero
+	FaultBadJump
+	FaultInvalidOp
+	FaultBadSpawn
+	FaultBadJoin
+	FaultUnheldUnlock
+	FaultOOM
+)
+
+var faultNames = map[FaultKind]string{
+	FaultNone:         "none",
+	FaultNullAccess:   "null-access",
+	FaultUseAfterFree: "use-after-free",
+	FaultBadFree:      "bad-free",
+	FaultDivZero:      "div-by-zero",
+	FaultBadJump:      "bad-jump",
+	FaultInvalidOp:    "invalid-op",
+	FaultBadSpawn:     "bad-spawn",
+	FaultBadJoin:      "bad-join",
+	FaultUnheldUnlock: "unheld-unlock",
+	FaultOOM:          "out-of-memory",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault describes a crash: what happened, where in the code, and at which
+// address if a memory access was involved.
+type Fault struct {
+	Kind FaultKind
+	PC   int
+	Addr uint64
+}
+
+func (f *Fault) Error() string {
+	if f == nil {
+		return "<no fault>"
+	}
+	if f.Addr != 0 {
+		return fmt.Sprintf("%v at pc %d, addr 0x%x", f.Kind, f.PC, f.Addr)
+	}
+	return fmt.Sprintf("%v at pc %d", f.Kind, f.PC)
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+const (
+	pageShift = 10
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// Memory is the RVM's word-granular flat address space, backed by pages
+// allocated on demand (unmapped words read as zero). It also owns the heap
+// bump allocator and the use-after-free poison set: freed blocks are never
+// reused, so dangling accesses fault deterministically.
+type Memory struct {
+	pages    map[uint64]*[pageWords]uint64
+	heapNext uint64
+	blocks   map[uint64]uint64 // live allocation base -> size in words
+	poisoned map[uint64]struct{}
+	maxHeap  uint64
+}
+
+// NewMemory returns an empty memory whose heap can grow to maxHeapWords
+// (0 means a generous default).
+func NewMemory(maxHeapWords uint64) *Memory {
+	if maxHeapWords == 0 {
+		maxHeapWords = 1 << 20
+	}
+	return &Memory{
+		pages:    make(map[uint64]*[pageWords]uint64),
+		heapNext: isa.HeapBase,
+		blocks:   make(map[uint64]uint64),
+		poisoned: make(map[uint64]struct{}),
+		maxHeap:  maxHeapWords,
+	}
+}
+
+// LoadInit copies a program's initialized data segment into memory.
+func (m *Memory) LoadInit(data map[uint64]uint64) {
+	for addr, v := range data {
+		m.write(addr, v)
+	}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageWords]uint64 {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageWords]uint64)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *Memory) read(addr uint64) uint64 {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+func (m *Memory) write(addr uint64, v uint64) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// check validates an address for a data access.
+func (m *Memory) check(addr uint64, pc int) *Fault {
+	if addr < isa.NullGuardTop {
+		return &Fault{Kind: FaultNullAccess, PC: pc, Addr: addr}
+	}
+	if _, bad := m.poisoned[addr]; bad {
+		return &Fault{Kind: FaultUseAfterFree, PC: pc, Addr: addr}
+	}
+	return nil
+}
+
+// Load reads the word at addr, faulting on null-guard or poisoned
+// addresses.
+func (m *Memory) Load(addr uint64, pc int) (uint64, *Fault) {
+	if f := m.check(addr, pc); f != nil {
+		return 0, f
+	}
+	return m.read(addr), nil
+}
+
+// Store writes the word at addr with the same checks as Load.
+func (m *Memory) Store(addr, v uint64, pc int) *Fault {
+	if f := m.check(addr, pc); f != nil {
+		return f
+	}
+	m.write(addr, v)
+	return nil
+}
+
+// Alloc carves a fresh zeroed block of n words from the heap and returns
+// its base address. Blocks are never recycled, so every allocation has a
+// unique address for the lifetime of the run.
+func (m *Memory) Alloc(n uint64, pc int) (uint64, *Fault) {
+	if n == 0 {
+		n = 1
+	}
+	if m.heapNext+n > isa.HeapBase+m.maxHeap {
+		return 0, &Fault{Kind: FaultOOM, PC: pc}
+	}
+	base := m.heapNext
+	m.heapNext += n
+	m.blocks[base] = n
+	for i := uint64(0); i < n; i++ {
+		m.write(base+i, 0)
+	}
+	return base, nil
+}
+
+// Free releases the block at base, poisoning every word so later accesses
+// fault as use-after-free. Freeing a non-block address (including a second
+// free of the same block) faults.
+func (m *Memory) Free(base uint64, pc int) *Fault {
+	n, ok := m.blocks[base]
+	if !ok {
+		return &Fault{Kind: FaultBadFree, PC: pc, Addr: base}
+	}
+	delete(m.blocks, base)
+	for i := uint64(0); i < n; i++ {
+		m.poisoned[base+i] = struct{}{}
+	}
+	return nil
+}
+
+// BlockSize returns the size of the live block at base, or false.
+func (m *Memory) BlockSize(base uint64) (uint64, bool) {
+	n, ok := m.blocks[base]
+	return n, ok
+}
+
+// Blocks returns the live allocation table (base -> size), sorted by base.
+// The replayer uses this to seed virtual-processor live-in heap state.
+func (m *Memory) Blocks() []Block {
+	out := make([]Block, 0, len(m.blocks))
+	for base, n := range m.blocks {
+		out = append(out, Block{Base: base, Size: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Poisoned reports whether addr belongs to a freed block.
+func (m *Memory) Poisoned(addr uint64) bool {
+	_, bad := m.poisoned[addr]
+	return bad
+}
+
+// Block is one live heap allocation.
+type Block struct {
+	Base, Size uint64
+}
+
+// Peek reads a word without access checks (debugger/analysis use only).
+func (m *Memory) Peek(addr uint64) uint64 { return m.read(addr) }
+
+// Poke writes a word without access checks (analysis use only).
+func (m *Memory) Poke(addr, v uint64) { m.write(addr, v) }

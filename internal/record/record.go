@@ -1,0 +1,213 @@
+// Package record implements the iDNA-style recorder: a machine.Observer
+// that builds self-contained per-thread replay logs while the program runs.
+//
+// The economy of the log comes from the predictability rule (iDNA's
+// load-based checkpointing): the recorder keeps, per thread, the memory
+// view that thread can reconstruct from its own loads and stores. A load
+// is logged only when shared memory disagrees with that view — the first
+// access to a location, or a location modified externally (another thread,
+// or in iDNA's world a system call or DMA) since the thread last saw it.
+// Everything else about the thread's execution is deterministic and is
+// regenerated at replay time.
+package record
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Recorder builds a trace.Log from machine observer callbacks. Use Run for
+// the common record-a-whole-program case.
+type Recorder struct {
+	prog    *isa.Program
+	seed    int64
+	threads map[int]*threadRec
+	order   []int // tids in start order
+}
+
+type threadRec struct {
+	log  *trace.ThreadLog
+	view map[uint64]uint64
+	done bool
+}
+
+// New returns a Recorder for prog; pass it as machine.Config.Observer.
+func New(prog *isa.Program, seed int64) *Recorder {
+	return &Recorder{
+		prog:    prog,
+		seed:    seed,
+		threads: make(map[int]*threadRec),
+	}
+}
+
+// ThreadStarted implements machine.Observer.
+func (r *Recorder) ThreadStarted(t *machine.Thread, startTS uint64) {
+	tl := &trace.ThreadLog{
+		TID:     t.ID,
+		StartTS: startTS,
+		InitPC:  t.Cpu.PC,
+	}
+	tl.InitRegs = t.Cpu.Regs
+	tl.Seqs = append(tl.Seqs, trace.Sequencer{Idx: 0, TS: startTS, Kind: trace.SeqStart, Aux: -1})
+	r.threads[t.ID] = &threadRec{log: tl, view: make(map[uint64]uint64)}
+	r.order = append(r.order, t.ID)
+}
+
+// Load implements machine.Observer, applying the predictability rule.
+func (r *Recorder) Load(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	tr := r.threads[tid]
+	if v, known := tr.view[addr]; !known || v != val {
+		tr.log.Loads = append(tr.log.Loads, trace.LoadRec{Idx: idx, Addr: addr, Val: val})
+	}
+	tr.view[addr] = val
+}
+
+// Store implements machine.Observer.
+func (r *Recorder) Store(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	r.threads[tid].view[addr] = val
+}
+
+// Sequencer implements machine.Observer.
+func (r *Recorder) Sequencer(tid int, idx uint64, ts uint64, op isa.Op, sysNum int64) {
+	tr := r.threads[tid]
+	aux := int64(-1)
+	kind := trace.KindForOp(op)
+	if kind == trace.SeqSyscall {
+		aux = sysNum
+	}
+	tr.log.Seqs = append(tr.log.Seqs, trace.Sequencer{Idx: idx, TS: ts, Kind: kind, Aux: aux})
+}
+
+// SyscallRet implements machine.Observer.
+func (r *Recorder) SyscallRet(tid int, idx uint64, r0 uint64) {
+	tr := r.threads[tid]
+	tr.log.SysRets = append(tr.log.SysRets, trace.SysRec{Idx: idx, Res: r0})
+}
+
+// ThreadEnded implements machine.Observer.
+func (r *Recorder) ThreadEnded(t *machine.Thread, endTS uint64) {
+	tr := r.threads[t.ID]
+	tl := tr.log
+	tl.EndTS = endTS
+	tl.Retired = t.Retired
+	tl.ExitCode = t.ExitCode
+	switch t.State {
+	case machine.Halted:
+		tl.EndReason = trace.EndHalted
+	case machine.Exited:
+		tl.EndReason = trace.EndExited
+	case machine.Faulted:
+		tl.EndReason = trace.EndFaulted
+		tl.Fault = &trace.FaultRec{Kind: int(t.Fault.Kind), PC: t.Fault.PC, Addr: t.Fault.Addr}
+	default:
+		tl.EndReason = trace.EndRunning
+	}
+	tl.Seqs = append(tl.Seqs, trace.Sequencer{Idx: t.Retired, TS: endTS, Kind: trace.SeqEnd, Aux: -1})
+	tr.done = true
+}
+
+// Finish assembles the trace.Log after the machine run completes. Threads
+// still live at budget exhaustion get a synthetic SeqEnd past the final
+// clock so their last region is closed.
+func (r *Recorder) Finish(res *machine.Result) *trace.Log {
+	log := &trace.Log{
+		Prog:       r.prog,
+		Seed:       r.seed,
+		FinalClock: res.FinalClock,
+		TotalSteps: res.TotalSteps,
+		Deadlocked: res.Deadlocked,
+	}
+	extraTS := res.FinalClock
+	for _, tid := range r.order {
+		tr := r.threads[tid]
+		if !tr.done {
+			var mt *machine.Thread
+			for _, t := range res.Threads {
+				if t.ID == tid {
+					mt = t
+					break
+				}
+			}
+			extraTS++
+			tr.log.Retired = mt.Retired
+			tr.log.EndTS = extraTS
+			tr.log.EndReason = trace.EndRunning
+			tr.log.Seqs = append(tr.log.Seqs, trace.Sequencer{
+				Idx: mt.Retired, TS: extraTS, Kind: trace.SeqEnd, Aux: -1,
+			})
+			tr.done = true
+		}
+		log.Threads = append(log.Threads, tr.log)
+	}
+	return log
+}
+
+// KeyFrameRecorder is a Recorder that also drops a key frame into each
+// thread's log every Interval retired instructions — iDNA's mid-log
+// resume points, enabling replay.ThreadStateAt to answer per-thread state
+// queries without replaying from instruction zero.
+type KeyFrameRecorder struct {
+	*Recorder
+	Interval uint64
+}
+
+// NewWithKeyFrames returns a recorder that emits key frames every
+// interval instructions (interval must be positive).
+func NewWithKeyFrames(prog *isa.Program, seed int64, interval uint64) *KeyFrameRecorder {
+	if interval == 0 {
+		interval = 1024
+	}
+	return &KeyFrameRecorder{Recorder: New(prog, seed), Interval: interval}
+}
+
+// AfterRetire implements machine.KeyFramer.
+func (r *KeyFrameRecorder) AfterRetire(t *machine.Thread) {
+	if t.Retired%r.Interval != 0 {
+		return
+	}
+	tr := r.threads[t.ID]
+	view := make([]trace.LoadRec, 0, len(tr.view))
+	for addr, val := range tr.view {
+		view = append(view, trace.LoadRec{Addr: addr, Val: val})
+	}
+	sort.Slice(view, func(i, j int) bool { return view[i].Addr < view[j].Addr })
+	kf := trace.KeyFrame{Idx: t.Retired, PC: t.Cpu.PC, View: view}
+	kf.Regs = t.Cpu.Regs
+	tr.log.KeyFrames = append(tr.log.KeyFrames, kf)
+}
+
+// RunWithKeyFrames is Run with key frames every interval instructions.
+func RunWithKeyFrames(prog *isa.Program, cfg machine.Config, interval uint64) (*trace.Log, *machine.Result, error) {
+	rec := NewWithKeyFrames(prog, cfg.Seed, interval)
+	cfg.Observer = rec
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := m.Run()
+	log := rec.Finish(res)
+	if err := log.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return log, res, nil
+}
+
+// Run records one full execution of prog under cfg (cfg.Observer is
+// overwritten). It returns the replay log and the machine result.
+func Run(prog *isa.Program, cfg machine.Config) (*trace.Log, *machine.Result, error) {
+	rec := New(prog, cfg.Seed)
+	cfg.Observer = rec
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := m.Run()
+	log := rec.Finish(res)
+	if err := log.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return log, res, nil
+}

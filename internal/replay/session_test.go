@@ -1,0 +1,141 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSessionStepMatchesRun(t *testing.T) {
+	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 8})
+	full, err := Run(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !sess.Done() {
+		if err := sess.StepRegion(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range full.Threads {
+		got := exec.Thread(th.TID)
+		if got.FinalCpu.Regs != th.FinalCpu.Regs {
+			t.Errorf("thread %d state differs between Run and stepped session", th.TID)
+		}
+	}
+	for addr, v := range full.FinalMem {
+		if exec.FinalMem[addr] != v {
+			t.Errorf("memory image differs at 0x%x", addr)
+		}
+	}
+	if err := sess.StepRegion(); err == nil {
+		t.Error("stepping past the end should fail")
+	}
+}
+
+func TestSnapshotRestoreReproducesExactly(t *testing.T) {
+	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 3})
+	sess, err := NewSession(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(sess.Exec().Regions)
+	mid := total / 2
+
+	// Run to the midpoint, snapshot, run to the end, capture final state.
+	for sess.Pos() < mid {
+		if err := sess.StepRegion(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sess.Snapshot()
+	if snap.Pos() != mid {
+		t.Fatalf("snapshot pos = %d, want %d", snap.Pos(), mid)
+	}
+	midMem := copyMap(sess.Exec().FinalMem)
+
+	for !sess.Done() {
+		if err := sess.StepRegion(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	endMem := copyMap(sess.Exec().FinalMem)
+	endCpu, _ := sess.ThreadCpu(0)
+
+	// Rewind: state must equal the midpoint exactly.
+	sess.Restore(snap)
+	if sess.Pos() != mid {
+		t.Fatalf("restored pos = %d", sess.Pos())
+	}
+	if len(sess.Exec().FinalMem) != len(midMem) {
+		t.Error("restored memory image size differs")
+	}
+	for addr, v := range midMem {
+		if sess.Exec().FinalMem[addr] != v {
+			t.Errorf("restored image differs at 0x%x", addr)
+		}
+	}
+
+	// Replaying forward from the snapshot must land on the same end state.
+	for !sess.Done() {
+		if err := sess.StepRegion(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for addr, v := range endMem {
+		if sess.Exec().FinalMem[addr] != v {
+			t.Errorf("re-run image differs at 0x%x", addr)
+		}
+	}
+	cpu, ok := sess.ThreadCpu(0)
+	if !ok || cpu.Regs != endCpu.Regs {
+		t.Error("re-run thread state differs")
+	}
+	if _, ok := sess.ThreadCpu(99); ok {
+		t.Error("phantom thread")
+	}
+}
+
+func TestSnapshotRestoreRepeatedly(t *testing.T) {
+	// Restoring the same snapshot many times and replaying different
+	// distances must always be consistent (no state leaks across restores).
+	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 12})
+	sess, err := NewSession(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.StepRegion(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.Snapshot()
+	want := make(map[int]map[uint64]uint64)
+	for _, dist := range []int{1, 3, 1, 3, 2, 1} {
+		sess.Restore(snap)
+		for i := 0; i < dist && !sess.Done(); i++ {
+			if err := sess.StepRegion(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		img := copyMap(sess.Exec().FinalMem)
+		if prev, seen := want[dist]; seen {
+			if len(prev) != len(img) {
+				t.Fatalf("distance %d: image size changed across restores", dist)
+			}
+			for a, v := range prev {
+				if img[a] != v {
+					t.Fatalf("distance %d: image differs at 0x%x", dist, a)
+				}
+			}
+		} else {
+			want[dist] = img
+		}
+	}
+}

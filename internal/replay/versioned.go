@@ -1,0 +1,61 @@
+package replay
+
+import "sort"
+
+// VersionedMemory answers "what did address A hold just before region G
+// ran?" for a fully replayed execution. It is built from the access
+// streams the replay already collected, so construction is one linear
+// pass and queries are binary searches.
+//
+// This implements the extension the paper sketches in §4.2.1: the base
+// tool declares a replay failure when an alternative-order execution
+// reads an address the two regions' live-ins never captured; with enough
+// logged information the replay could continue instead. The versioned
+// memory is exactly that information, and the classifier consults it
+// when Options.UseOracle is set (ablation A3).
+type VersionedMemory struct {
+	versions map[uint64][]version
+}
+
+type version struct {
+	global int // region (schedule index) that observed/wrote the value
+	val    uint64
+}
+
+// BuildVersionedMemory indexes every access of the execution.
+func BuildVersionedMemory(exec *Execution) *VersionedMemory {
+	vm := &VersionedMemory{versions: make(map[uint64][]version)}
+	for _, reg := range exec.Regions {
+		for _, acc := range reg.Accesses {
+			vs := vm.versions[acc.Addr]
+			// One version per (addr, region): keep the last value the
+			// region gave the address.
+			if n := len(vs); n > 0 && vs[n-1].global == reg.Global {
+				vs[n-1].val = acc.Val
+			} else {
+				vs = append(vs, version{global: reg.Global, val: acc.Val})
+			}
+			vm.versions[acc.Addr] = vs
+		}
+	}
+	return vm
+}
+
+// Before returns the value addr held before region global ran: the value
+// recorded by the latest region with schedule index < global. The second
+// result is false when no earlier region ever touched the address.
+func (vm *VersionedMemory) Before(addr uint64, global int) (uint64, bool) {
+	vs := vm.versions[addr]
+	// First index with vs[i].global >= global.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].global >= global })
+	if i == 0 {
+		return 0, false
+	}
+	return vs[i-1].val, true
+}
+
+// Known reports whether any region ever touched addr.
+func (vm *VersionedMemory) Known(addr uint64) bool { return len(vm.versions[addr]) > 0 }
+
+// Addresses returns how many distinct addresses are versioned.
+func (vm *VersionedMemory) Addresses() int { return len(vm.versions) }

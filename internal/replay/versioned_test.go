@@ -1,0 +1,69 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestVersionedMemoryTracksWrites(t *testing.T) {
+	src := `
+.word g 5
+main:
+  ldi r2, g
+  ld r3, [r2+0]
+  fence
+  addi r3, r3, 2
+  st [r2+0], r3
+  fence
+  addi r3, r3, 3
+  st [r2+0], r3
+  halt
+`
+	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
+	exec, err := Run(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := BuildVersionedMemory(exec)
+	var gAddr uint64
+	for a := range log.Prog.Data {
+		gAddr = a
+	}
+	if !vm.Known(gAddr) {
+		t.Fatal("g should be versioned")
+	}
+	// Region 0 observes 5; region 1 writes 7; region 2 writes 10.
+	if _, ok := vm.Before(gAddr, 0); ok {
+		t.Error("nothing before region 0")
+	}
+	if v, ok := vm.Before(gAddr, 1); !ok || v != 5 {
+		t.Errorf("before region 1 = %d,%v, want 5", v, ok)
+	}
+	if v, ok := vm.Before(gAddr, 2); !ok || v != 7 {
+		t.Errorf("before region 2 = %d,%v, want 7", v, ok)
+	}
+	if v, ok := vm.Before(gAddr, 99); !ok || v != 10 {
+		t.Errorf("final value = %d,%v, want 10", v, ok)
+	}
+	if vm.Known(0xdead) {
+		t.Error("untouched address should be unknown")
+	}
+	if vm.Addresses() == 0 {
+		t.Error("no addresses versioned")
+	}
+}
+
+func TestVersionedMemoryAgreesWithFinalImage(t *testing.T) {
+	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 5})
+	exec, err := Run(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := BuildVersionedMemory(exec)
+	for addr, want := range exec.FinalMem {
+		if v, ok := vm.Before(addr, len(exec.Regions)+1); !ok || v != want {
+			t.Errorf("addr 0x%x: versioned %d,%v vs image %d", addr, v, ok, want)
+		}
+	}
+}

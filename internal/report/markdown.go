@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/workloads"
+)
+
+// Markdown renders the whole evaluation as a GitHub-markdown document —
+// the machine-generated companion to EXPERIMENTS.md (regenerate with
+// `paperbench -md`).
+func Markdown(c *classify.Classification, truth Truth) string {
+	var b strings.Builder
+	b.WriteString("# Evaluation (generated)\n\n")
+
+	t1 := BuildTable1(c, truth)
+	pbRB, pbRH := t1.PotentiallyBenign()
+	phRB, phRH := t1.PotentiallyHarmful()
+	fmt.Fprintf(&b, "%d unique races, %d instances analyzed.\n\n", t1.Total(), c.TotalInstances())
+
+	b.WriteString("## Table 1 — classification\n\n")
+	b.WriteString("| Outcome | Real benign | Real harmful | Total |\n|---|---|---|---|\n")
+	row := func(name string, g classify.Group) {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", name, t1.RB[g], t1.RH[g], t1.RB[g]+t1.RH[g])
+	}
+	row("No state change (potentially benign)", classify.GroupNoStateChange)
+	row("State change (potentially harmful)", classify.GroupStateChange)
+	row("Replay failure (potentially harmful)", classify.GroupReplayFailure)
+	fmt.Fprintf(&b, "| **Total** | %d + %d | %d + %d | %d |\n\n", pbRB, phRB, pbRH, phRH, t1.Total())
+
+	t2 := BuildTable2(c, truth)
+	b.WriteString("## Table 2 — benign races by category\n\n")
+	b.WriteString("| Category | Races |\n|---|---|\n")
+	total := 0
+	for _, cat := range []workloads.Category{
+		workloads.CatUserSync, workloads.CatDoubleCheck, workloads.CatBothValid,
+		workloads.CatRedundantWrite, workloads.CatDisjointBits, workloads.CatApprox,
+	} {
+		fmt.Fprintf(&b, "| %s | %d |\n", cat, t2.Counts[cat])
+		total += t2.Counts[cat]
+	}
+	fmt.Fprintf(&b, "| **Total** | %d |\n\n", total)
+
+	for _, fig := range []Figure{
+		BuildFigure3(c, truth), BuildFigure4(c, truth), BuildFigure5(c, truth),
+	} {
+		fmt.Fprintf(&b, "## %s\n\n", fig.Title)
+		fmt.Fprintf(&b, "%d races; instances per race: %s\n\n", len(fig.Rows), fig.InstanceStats())
+		b.WriteString("| Race | Instances | Exposing (sc/rf) |\n|---|---|---|\n")
+		for _, r := range fig.Rows {
+			fmt.Fprintf(&b, "| `%s` | %d | %d (%d/%d) |\n", r.Sites, r.Total, r.Exposing, r.SC, r.RF)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,550 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Format identification. rawMagic heads an uncompressed marshalled log;
+// fileMagic heads the compressed container produced by Write.
+const (
+	rawMagic      = "RRLOG"
+	fileMagic     = "RRLZ1"
+	formatVersion = 2
+)
+
+type encoder struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) u(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *encoder) i(v int64) {
+	n := binary.PutVarint(e.tmp[:], v)
+	e.buf.Write(e.tmp[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.u(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+type decoder struct {
+	r *bytes.Reader
+}
+
+func (d *decoder) u() (uint64, error) { return binary.ReadUvarint(d.r) }
+func (d *decoder) i() (int64, error)  { return binary.ReadVarint(d.r) }
+func (d *decoder) str() (string, error) {
+	b, err := d.byteSlice()
+	return string(b), err
+}
+
+func (d *decoder) byteSlice() ([]byte, error) {
+	n, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.r.Len()) {
+		return nil, fmt.Errorf("trace: truncated log (want %d bytes, have %d)", n, d.r.Len())
+	}
+	b := make([]byte, n)
+	_, err = io.ReadFull(d.r, b)
+	return b, err
+}
+
+// Marshal serializes log to its raw (uncompressed) binary form.
+func Marshal(log *Log) []byte {
+	var e encoder
+	e.buf.WriteString(rawMagic)
+	e.u(formatVersion)
+
+	// Program.
+	p := log.Prog
+	e.str(p.Name)
+	e.bytes(isa.EncodeCode(p.Code))
+	e.u(uint64(p.Entry))
+	// Data segment, sorted for deterministic bytes.
+	addrs := make([]uint64, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	e.u(uint64(len(addrs)))
+	prevAddr := uint64(0)
+	for _, a := range addrs {
+		e.u(a - prevAddr)
+		prevAddr = a
+		e.u(p.Data[a])
+	}
+	// Symbols, sorted by name. Sources are not serialized: SiteOf falls
+	// back to symbol-relative naming, which produces identical site ids.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.u(uint64(len(names)))
+	for _, n := range names {
+		e.str(n)
+		e.u(uint64(p.Symbols[n]))
+	}
+
+	// Run metadata.
+	e.i(log.Seed)
+	e.u(log.FinalClock)
+	e.u(log.TotalSteps)
+	if log.Deadlocked {
+		e.u(1)
+	} else {
+		e.u(0)
+	}
+
+	// Threads.
+	e.u(uint64(len(log.Threads)))
+	for _, t := range log.Threads {
+		e.u(uint64(t.TID))
+		e.u(t.StartTS)
+		e.u(t.EndTS)
+		e.u(uint64(t.InitPC))
+		for _, r := range t.InitRegs {
+			e.u(r)
+		}
+		e.u(t.Retired)
+		e.u(uint64(t.EndReason))
+		e.u(t.ExitCode)
+		if t.Fault != nil {
+			e.u(1)
+			e.u(uint64(t.Fault.Kind))
+			e.u(uint64(t.Fault.PC))
+			e.u(t.Fault.Addr)
+		} else {
+			e.u(0)
+		}
+
+		e.u(uint64(len(t.Loads)))
+		prevIdx := uint64(0)
+		for _, l := range t.Loads {
+			e.u(l.Idx - prevIdx)
+			prevIdx = l.Idx
+			e.u(l.Addr)
+			e.u(l.Val)
+		}
+
+		e.u(uint64(len(t.SysRets)))
+		prevIdx = 0
+		for _, s := range t.SysRets {
+			e.u(s.Idx - prevIdx)
+			prevIdx = s.Idx
+			e.u(s.Res)
+		}
+
+		e.u(uint64(len(t.Seqs)))
+		prevIdx, prevTS := uint64(0), uint64(0)
+		for _, s := range t.Seqs {
+			e.u(s.Idx - prevIdx)
+			prevIdx = s.Idx
+			e.u(s.TS - prevTS)
+			prevTS = s.TS
+			e.buf.WriteByte(byte(s.Kind))
+			e.i(s.Aux)
+		}
+
+		e.u(uint64(len(t.KeyFrames)))
+		prevIdx = 0
+		for _, kf := range t.KeyFrames {
+			e.u(kf.Idx - prevIdx)
+			prevIdx = kf.Idx
+			e.u(uint64(kf.PC))
+			for _, r := range kf.Regs {
+				e.u(r)
+			}
+			e.u(uint64(len(kf.View)))
+			prevAddr := uint64(0)
+			for _, v := range kf.View {
+				e.u(v.Addr - prevAddr)
+				prevAddr = v.Addr
+				e.u(v.Val)
+			}
+		}
+	}
+	return e.buf.Bytes()
+}
+
+// Unmarshal parses a raw log produced by Marshal.
+func Unmarshal(raw []byte) (*Log, error) {
+	if len(raw) < len(rawMagic) || string(raw[:len(rawMagic)]) != rawMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	d := decoder{r: bytes.NewReader(raw[len(rawMagic):])}
+	ver, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+
+	log := &Log{}
+	p := isa.NewProgram("")
+	if p.Name, err = d.str(); err != nil {
+		return nil, err
+	}
+	codeBytes, err := d.byteSlice()
+	if err != nil {
+		return nil, err
+	}
+	if p.Code, err = isa.DecodeCode(codeBytes); err != nil {
+		return nil, err
+	}
+	entry, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = int(entry)
+	nData, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	addr := uint64(0)
+	for i := uint64(0); i < nData; i++ {
+		da, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		addr += da
+		v, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		p.Data[addr] = v
+	}
+	nSyms, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nSyms; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		at, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		p.Symbols[name] = int(at)
+	}
+	log.Prog = p
+
+	if log.Seed, err = d.i(); err != nil {
+		return nil, err
+	}
+	if log.FinalClock, err = d.u(); err != nil {
+		return nil, err
+	}
+	if log.TotalSteps, err = d.u(); err != nil {
+		return nil, err
+	}
+	dl, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	log.Deadlocked = dl != 0
+
+	nThreads, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nThreads; i++ {
+		t := &ThreadLog{}
+		var v uint64
+		if v, err = d.u(); err != nil {
+			return nil, err
+		}
+		t.TID = int(v)
+		if t.StartTS, err = d.u(); err != nil {
+			return nil, err
+		}
+		if t.EndTS, err = d.u(); err != nil {
+			return nil, err
+		}
+		if v, err = d.u(); err != nil {
+			return nil, err
+		}
+		t.InitPC = int(v)
+		for r := range t.InitRegs {
+			if t.InitRegs[r], err = d.u(); err != nil {
+				return nil, err
+			}
+		}
+		if t.Retired, err = d.u(); err != nil {
+			return nil, err
+		}
+		if v, err = d.u(); err != nil {
+			return nil, err
+		}
+		t.EndReason = EndReason(v)
+		if t.ExitCode, err = d.u(); err != nil {
+			return nil, err
+		}
+		if v, err = d.u(); err != nil {
+			return nil, err
+		}
+		if v != 0 {
+			f := &FaultRec{}
+			if v, err = d.u(); err != nil {
+				return nil, err
+			}
+			f.Kind = int(v)
+			if v, err = d.u(); err != nil {
+				return nil, err
+			}
+			f.PC = int(v)
+			if f.Addr, err = d.u(); err != nil {
+				return nil, err
+			}
+			t.Fault = f
+		}
+
+		nLoads, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		if nLoads > uint64(d.r.Len()) {
+			return nil, fmt.Errorf("trace: truncated load stream")
+		}
+		idx := uint64(0)
+		t.Loads = make([]LoadRec, 0, nLoads)
+		for j := uint64(0); j < nLoads; j++ {
+			di, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			idx += di
+			a, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			val, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			t.Loads = append(t.Loads, LoadRec{Idx: idx, Addr: a, Val: val})
+		}
+
+		nSys, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		if nSys > uint64(d.r.Len()) {
+			return nil, fmt.Errorf("trace: truncated sysret stream")
+		}
+		idx = 0
+		t.SysRets = make([]SysRec, 0, nSys)
+		for j := uint64(0); j < nSys; j++ {
+			di, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			idx += di
+			res, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			t.SysRets = append(t.SysRets, SysRec{Idx: idx, Res: res})
+		}
+
+		nSeqs, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		if nSeqs > uint64(d.r.Len()) {
+			return nil, fmt.Errorf("trace: truncated sequencer stream")
+		}
+		idx = 0
+		ts := uint64(0)
+		t.Seqs = make([]Sequencer, 0, nSeqs)
+		for j := uint64(0); j < nSeqs; j++ {
+			di, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			idx += di
+			dt, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			ts += dt
+			kb, err := d.r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			aux, err := d.i()
+			if err != nil {
+				return nil, err
+			}
+			t.Seqs = append(t.Seqs, Sequencer{Idx: idx, TS: ts, Kind: SeqKind(kb), Aux: aux})
+		}
+
+		nKF, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		if nKF > uint64(d.r.Len()) {
+			return nil, fmt.Errorf("trace: truncated key-frame stream")
+		}
+		idx = 0
+		for j := uint64(0); j < nKF; j++ {
+			var kf KeyFrame
+			di, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			idx += di
+			kf.Idx = idx
+			pc, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			kf.PC = int(pc)
+			for r := range kf.Regs {
+				if kf.Regs[r], err = d.u(); err != nil {
+					return nil, err
+				}
+			}
+			nView, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			if nView > uint64(d.r.Len()) {
+				return nil, fmt.Errorf("trace: truncated key-frame view")
+			}
+			addr := uint64(0)
+			kf.View = make([]LoadRec, 0, nView)
+			for k := uint64(0); k < nView; k++ {
+				da, err := d.u()
+				if err != nil {
+					return nil, err
+				}
+				addr += da
+				val, err := d.u()
+				if err != nil {
+					return nil, err
+				}
+				kf.View = append(kf.View, LoadRec{Addr: addr, Val: val})
+			}
+			t.KeyFrames = append(t.KeyFrames, kf)
+		}
+		log.Threads = append(log.Threads, t)
+	}
+	if err := log.Validate(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// Compress deflates raw log bytes (best compression). This is the analogue
+// of the paper zipping iDNA logs from 0.8 to ~0.3 bits/instruction.
+func Compress(raw []byte) []byte {
+	var out bytes.Buffer
+	out.WriteString(fileMagic)
+	w, err := flate.NewWriter(&out, flate.BestCompression)
+	if err != nil {
+		panic(err) // only on invalid level
+	}
+	if _, err := w.Write(raw); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	w.Close()
+	return out.Bytes()
+}
+
+// Decompress inflates a container produced by Compress.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad container magic")
+	}
+	r := flate.NewReader(bytes.NewReader(data[len(fileMagic):]))
+	defer r.Close()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: inflate: %w", err)
+	}
+	return raw, nil
+}
+
+// Write serializes and compresses log to w.
+func Write(w io.Writer, log *Log) error {
+	_, err := w.Write(Compress(Marshal(log)))
+	return err
+}
+
+// Read parses a compressed log from r.
+func Read(r io.Reader) (*Log, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(raw)
+}
+
+// SizeStats quantifies a log against the instruction count it covers.
+type SizeStats struct {
+	Instructions    uint64
+	RawBytes        int
+	CompressedBytes int
+}
+
+// RawBitsPerInstr is the §5.1 headline metric for the uncompressed log.
+func (s SizeStats) RawBitsPerInstr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) * 8 / float64(s.Instructions)
+}
+
+// CompressedBitsPerInstr is the metric after flate compression.
+func (s SizeStats) CompressedBitsPerInstr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.CompressedBytes) * 8 / float64(s.Instructions)
+}
+
+// BytesPerBillion extrapolates storage for 10^9 instructions (the paper
+// reports ~96 MB/billion raw).
+func (s SizeStats) BytesPerBillion() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.CompressedBytes) / float64(s.Instructions) * 1e9
+}
+
+// Stats measures log's serialized footprint.
+func Stats(log *Log) SizeStats {
+	raw := Marshal(log)
+	return SizeStats{
+		Instructions:    log.Instructions(),
+		RawBytes:        len(raw),
+		CompressedBytes: len(Compress(raw)),
+	}
+}

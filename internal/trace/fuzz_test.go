@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the parser, and any log
+// it accepts must validate and survive a re-marshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Marshal(sampleLog()))
+	f.Add([]byte("RRLOG"))
+	f.Add([]byte{})
+	raw := Marshal(sampleLog())
+	f.Add(raw[:len(raw)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if err := log.Validate(); err != nil {
+			t.Fatalf("Unmarshal accepted an invalid log: %v", err)
+		}
+		again, err := Unmarshal(Marshal(log))
+		if err != nil {
+			t.Fatalf("re-marshal round trip failed: %v", err)
+		}
+		if again.Instructions() != log.Instructions() {
+			t.Fatal("round trip changed instruction count")
+		}
+	})
+}
+
+// FuzzDecompress: the container parser must be total.
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress([]byte("hello")))
+	f.Add([]byte("RRLZ1junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raw, err := Decompress(data)
+		if err == nil && !bytes.Equal(Compress(raw)[:5], []byte("RRLZ1")) {
+			t.Fatal("recompress lost magic")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVC(r *rand.Rand) VC {
+	v := New(1 + r.Intn(5))
+	for i := range v {
+		v[i] = uint64(r.Intn(8))
+	}
+	return v
+}
+
+func TestBasics(t *testing.T) {
+	v := New(3)
+	v = v.Tick(0).Tick(0).Tick(2)
+	if v.At(0) != 2 || v.At(1) != 0 || v.At(2) != 1 {
+		t.Fatalf("v = %v", v)
+	}
+	if v.At(99) != 0 {
+		t.Error("out-of-range component should read 0")
+	}
+	v = v.Tick(5)
+	if len(v) != 6 || v.At(5) != 1 {
+		t.Errorf("grow on tick failed: %v", v)
+	}
+}
+
+func TestHappensBeforeAndConcurrent(t *testing.T) {
+	a := VC{1, 0}
+	b := VC{2, 1}
+	c := VC{0, 2}
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Error("a < b expected")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a || c expected")
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Error("clock not concurrent with itself")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should be equal")
+	}
+	// Different lengths, same meaning.
+	if !(VC{1, 0}).Equal(VC{1}) {
+		t.Error("trailing zeros should not matter")
+	}
+}
+
+func TestJoinIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		j := a.Clone().Join(b)
+		// Upper bound.
+		if !a.LessEq(j) || !b.LessEq(j) {
+			return false
+		}
+		// Least: any other upper bound dominates j.
+		u := a.Clone().Join(b).Tick(0)
+		return j.LessEq(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		// Commutative.
+		if !a.Clone().Join(b).Equal(b.Clone().Join(a)) {
+			return false
+		}
+		// Associative.
+		left := a.Clone().Join(b).Join(c)
+		right := a.Clone().Join(b.Clone().Join(c))
+		if !left.Equal(right) {
+			return false
+		}
+		// Idempotent.
+		return a.Clone().Join(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderIsPartial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		// Antisymmetry: a ≤ b and b ≤ a implies equal.
+		if a.LessEq(b) && b.LessEq(a) && !a.Equal(b) {
+			return false
+		}
+		// Exactly one of: a<b, b<a, a||b, a==b.
+		states := 0
+		if a.HappensBefore(b) {
+			states++
+		}
+		if b.HappensBefore(a) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTickPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randVC(r)
+		tid := r.Intn(len(a))
+		b := a.Clone().Tick(tid)
+		return a.HappensBefore(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{3, 0, 1}).String(); got != "[3 0 1]" {
+		t.Errorf("String = %q", got)
+	}
+}

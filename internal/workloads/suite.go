@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+)
+
+// ScenarioRun pairs a scenario with its full analysis.
+type ScenarioRun struct {
+	Scenario Scenario
+	Result   *core.Result
+}
+
+// SuiteRun is the analysis of the whole 18-execution suite.
+type SuiteRun struct {
+	Scenarios []ScenarioRun
+	Merged    *classify.Classification
+}
+
+// RunSuite records, replays, detects, and classifies every scenario, then
+// merges the per-execution classifications into the cross-execution
+// per-race verdicts of §5.2.1. db, when non-nil, suppresses races a
+// developer already marked benign.
+func RunSuite(db *classify.DB) (*SuiteRun, error) {
+	run := &SuiteRun{}
+	var parts []*classify.Classification
+	for _, s := range Scenarios() {
+		prog, err := s.Program()
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+		}
+		res, err := core.Analyze(prog, s.Config(), classify.Options{
+			Scenario: s.Name,
+			Seed:     s.Seed,
+			DB:       db,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+		}
+		run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: s, Result: res})
+		parts = append(parts, res.Classification)
+	}
+	run.Merged = classify.Merge(parts...)
+	return run, nil
+}
+
+// RunSuiteSeeds analyzes every scenario under `seeds` different scheduler
+// seeds each (the base seed plus offsets) and merges everything. This is
+// the paper's coverage lever: "the more the number of test cases
+// analyzed, the more likely harmful data races will be discovered" (§1) —
+// and the more instances accumulate per race, the greater the confidence
+// in a potentially-benign verdict (§4.3).
+func RunSuiteSeeds(db *classify.DB, seeds int) (*SuiteRun, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	run := &SuiteRun{}
+	var parts []*classify.Classification
+	for _, base := range Scenarios() {
+		for k := 0; k < seeds; k++ {
+			s := base
+			s.Seed = base.Seed + int64(7777*k)
+			prog, err := s.Program()
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+			}
+			res, err := core.Analyze(prog, s.Config(), classify.Options{
+				Scenario: fmt.Sprintf("%s#%d", s.Name, k),
+				Seed:     s.Seed,
+				DB:       db,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s seed %d: %w", s.Name, s.Seed, err)
+			}
+			run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: s, Result: res})
+			parts = append(parts, res.Classification)
+		}
+	}
+	run.Merged = classify.Merge(parts...)
+	return run, nil
+}
+
+// FindScenario returns the scenario with the given name, or an error.
+func FindScenario(name string) (Scenario, error) {
+	if name == "browse" {
+		return BrowseScenario(), nil
+	}
+	if name == "service" {
+		return ServiceScenario(), nil
+	}
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workloads: unknown scenario %q", name)
+}

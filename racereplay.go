@@ -1,0 +1,201 @@
+// Package racereplay is a from-scratch reproduction of "Automatically
+// Classifying Benign and Harmful Data Races Using Replay Analysis"
+// (Narayanasamy, Wang, Tigani, Edwards, Calder — PLDI 2007).
+//
+// The package records a multi-threaded RVM program's execution into an
+// iDNA-style replay log, replays it deterministically, finds data races
+// with a happens-before (sequencing-region overlap) detector, and
+// classifies every race by replaying each dynamic instance twice in a
+// virtual processor — once per order of the racing operations. Races all
+// of whose instances produce identical live-outs are potentially benign;
+// the rest are potentially harmful and come with a reproducible two-order
+// replay scenario.
+//
+// Quick start:
+//
+//	prog, err := racereplay.Assemble("demo", src)
+//	res, err := racereplay.Analyze(prog, racereplay.Config{Seed: 1}, racereplay.Options{})
+//	for _, race := range res.Classification.Races {
+//		fmt.Println(racereplay.RaceReport(race))
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results of every table and figure.
+package racereplay
+
+import (
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/isa"
+	"repro/internal/lockset"
+	"repro/internal/machine"
+	"repro/internal/record"
+	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Re-exported core types. The aliases make the public API self-contained:
+// callers never import internal packages directly.
+type (
+	// Program is an assembled RVM program.
+	Program = isa.Program
+	// Config controls one deterministic machine run.
+	Config = machine.Config
+	// Log is a recorded execution (the replay log).
+	Log = trace.Log
+	// Execution is a fully replayed run with regions and accesses.
+	Execution = replay.Execution
+	// RaceSet is the happens-before detector's output.
+	RaceSet = hb.Report
+	// SitePair is the static identity of a race.
+	SitePair = hb.SitePair
+	// Options tunes classification.
+	Options = classify.Options
+	// Classification is the per-race verdict set.
+	Classification = classify.Classification
+	// RaceResult is one classified race.
+	RaceResult = classify.RaceResult
+	// Result bundles one analyzed execution.
+	Result = core.Result
+	// DB is the persistent race database for the triage workflow.
+	DB = classify.DB
+	// SizeStats quantifies a log's footprint.
+	SizeStats = trace.SizeStats
+	// Scenario is one built-in workload execution.
+	Scenario = workloads.Scenario
+	// SuiteRun is the analysis of the whole built-in suite.
+	SuiteRun = workloads.SuiteRun
+)
+
+// Verdicts and Table-1 groups.
+const (
+	PotentiallyBenign  = classify.PotentiallyBenign
+	PotentiallyHarmful = classify.PotentiallyHarmful
+
+	GroupNoStateChange = classify.GroupNoStateChange
+	GroupStateChange   = classify.GroupStateChange
+	GroupReplayFailure = classify.GroupReplayFailure
+)
+
+// Assemble parses RVM assembly into a validated program.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// MustAssemble is Assemble that panics on error (for known-good sources).
+func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
+
+// Record runs prog under cfg and returns the replay log.
+func Record(prog *Program, cfg Config) (*Log, error) {
+	log, _, err := core.Record(prog, cfg)
+	return log, err
+}
+
+// RecordWithKeyFrames records like Record but drops a key frame into each
+// thread's log every interval instructions, enabling fast mid-log
+// per-thread state queries (ThreadStateAt).
+func RecordWithKeyFrames(prog *Program, cfg Config, interval uint64) (*Log, error) {
+	log, _, err := record.RunWithKeyFrames(prog, cfg, interval)
+	return log, err
+}
+
+// ThreadStateAt answers a per-thread state query (registers + memory
+// view after idx instructions) from a log, resuming from the nearest key
+// frame when the log has them.
+func ThreadStateAt(log *Log, tid int, idx uint64) (*replay.ThreadState, error) {
+	return replay.ThreadStateAt(log, tid, idx)
+}
+
+// Replay re-executes a recorded log deterministically, reconstructing
+// sequencing regions, accesses, and live-ins.
+func Replay(log *Log) (*Execution, error) { return replay.Run(log, replay.Options{}) }
+
+// ReplayTo replays only the first n regions of the schedule — the
+// time-travel primitive: replaying successively shorter prefixes steps
+// the execution backwards (iDNA's reverse debugging).
+func ReplayTo(log *Log, n int) (*Execution, error) { return replay.StateAt(log, n) }
+
+// DetectRaces runs the paper's happens-before detector over a replayed
+// execution. It reports no false positives with respect to the recording.
+func DetectRaces(exec *Execution) *RaceSet { return hb.Detect(exec) }
+
+// DetectRacesVC runs the vector-clock ablation detector (DESIGN.md A1).
+func DetectRacesVC(exec *Execution) (*RaceSet, error) { return hb.DetectVC(exec) }
+
+// DetectRacesLockset runs the Eraser-style lockset baseline over a
+// replayed execution (it can report false positives).
+func DetectRacesLockset(exec *Execution) *lockset.Report { return lockset.Detect(exec) }
+
+// TriageLockset applies the paper's replay analysis to a lockset report
+// (§2.2.2): warnings whose conflicting accesses are all sequencer-ordered
+// are dismissed as false positives; the genuinely racy ones are
+// classified by dual-order replay.
+func TriageLockset(exec *Execution, rep *lockset.Report, opts Options) []classify.LocksetTriage {
+	return classify.TriageLockset(exec, rep, opts)
+}
+
+// Classify analyzes every race instance by dual-order replay and
+// aggregates the per-race verdicts.
+func Classify(exec *Execution, races *RaceSet, opts Options) *Classification {
+	return classify.Run(exec, races, opts)
+}
+
+// MergeClassifications folds per-execution classifications into
+// cross-execution verdicts (the same race accumulates instances).
+func MergeClassifications(parts ...*Classification) *Classification {
+	return classify.Merge(parts...)
+}
+
+// Analyze runs the whole pipeline: record, replay, detect, classify.
+func Analyze(prog *Program, cfg Config, opts Options) (*Result, error) {
+	return core.Analyze(prog, cfg, opts)
+}
+
+// AnalyzeLog runs the offline pipeline over an existing log.
+func AnalyzeLog(log *Log, opts Options) (*Result, error) { return core.AnalyzeLog(log, opts) }
+
+// AnalyzeSource assembles src and analyzes one execution with the given
+// scheduler seed — the one-call entry point the examples use.
+func AnalyzeSource(name, src string, seed int64) (*Result, error) {
+	prog, err := Assemble(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog, Config{Seed: seed}, Options{Scenario: name, Seed: seed})
+}
+
+// WriteLog serializes and compresses a log.
+func WriteLog(w io.Writer, log *Log) error { return trace.Write(w, log) }
+
+// ReadLog parses a log written by WriteLog.
+func ReadLog(r io.Reader) (*Log, error) { return trace.Read(r) }
+
+// LogStats measures a log's serialized footprint (§5.1 metrics).
+func LogStats(log *Log) SizeStats { return trace.Stats(log) }
+
+// LoadDB reads a race database (missing file = empty database).
+func LoadDB(path string) (*DB, error) { return classify.LoadDB(path) }
+
+// NewDB returns an empty race database.
+func NewDB() *DB { return classify.NewDB() }
+
+// RaceReport renders the developer-facing report for one race, including
+// the reproducible two-order replay coordinates.
+func RaceReport(r *RaceResult) string { return report.RaceReport(r, report.SuiteTruth) }
+
+// Suite exposes the built-in 18-execution workload suite that stands in
+// for the paper's Windows Vista / Internet Explorer recordings.
+func Suite() []Scenario { return workloads.Scenarios() }
+
+// RunSuite analyzes the whole built-in suite and merges the verdicts.
+func RunSuite(db *DB) (*SuiteRun, error) { return workloads.RunSuite(db) }
+
+// RunSuiteSeeds analyzes the suite under several scheduler seeds per
+// scenario, accumulating instances — the paper's coverage lever (§1).
+func RunSuiteSeeds(db *DB, seeds int) (*SuiteRun, error) {
+	return workloads.RunSuiteSeeds(db, seeds)
+}
