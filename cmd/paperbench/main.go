@@ -5,6 +5,7 @@
 //	paperbench -table 1   # just Table 1
 //	paperbench -figure 4  # just Figure 4
 //	paperbench -perf      # just the §5.1 performance measurements
+//	paperbench -perf-report  # the §5.1 ladder from instrumentation spans
 //
 // The output is the text EXPERIMENTS.md quotes; the numbers are
 // deterministic for the tables/figures (fixed seeds) and hardware-
@@ -42,6 +43,7 @@ func realMain(args []string, out io.Writer) error {
 	table := fs.Int("table", 0, "render only this table (1 or 2)")
 	figure := fs.Int("figure", 0, "render only this figure (3, 4, or 5)")
 	perfOnly := fs.Bool("perf", false, "render only the performance section")
+	perfReport := fs.Bool("perf-report", false, "render the overhead ladder from an instrumented suite run (spans, not stopwatches)")
 	md := fs.Bool("md", false, "emit the tables and figures as GitHub markdown")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario (instances scale with coverage)")
 	if err := fs.Parse(args); err != nil {
@@ -49,7 +51,20 @@ func realMain(args []string, out io.Writer) error {
 	}
 	stdout = out
 
-	all := *table == 0 && *figure == 0 && !*perfOnly && !*md
+	all := *table == 0 && *figure == 0 && !*perfOnly && !*perfReport && !*md
+
+	if *perfReport {
+		// Unlike perf()'s best-of-three stopwatches over one scenario,
+		// this ladder aggregates the instrumentation spans of a real
+		// suite run — every scenario, every stage, plus a bare-machine
+		// native baseline per execution.
+		reg := racereplay.NewMetrics()
+		if _, err := racereplay.RunSuiteSeedsInstrumented(nil, *seeds, reg); err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, report.OverheadLadder(reg.Snapshot()))
+		return nil
+	}
 
 	var run *workloads.SuiteRun
 	needSuite := all || *table != 0 || *figure != 0 || *md

@@ -80,6 +80,24 @@ func TestPerfAndFullOutput(t *testing.T) {
 	}
 }
 
+func TestPerfReport(t *testing.T) {
+	var b strings.Builder
+	if err := realMain([]string{"-perf-report"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"overhead ladder (from spans",
+		"native execution", "recording:", "replay:",
+		"happens-before analysis", "replay classification",
+		"x native", "bits/instruction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf-report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestMarkdownFlag(t *testing.T) {
 	var b strings.Builder
 	if err := realMain([]string{"-md"}, &b); err != nil {

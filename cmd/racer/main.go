@@ -64,6 +64,8 @@ func main() {
 		err = cmdRecordSuite(args)
 	case "analyze-dir":
 		err = cmdAnalyzeDir(args)
+	case "profile":
+		err = cmdProfile(args)
 	case "mark-benign":
 		err = cmdMarkBenign(args)
 	case "debug":
@@ -100,7 +102,12 @@ commands (flags come before the file argument):
   suite [-db FILE] [-seeds N]           analyze all 18 built-in scenarios
   record-suite -dir DIR [-seeds N]      record every scenario's log to DIR
   analyze-dir -dir DIR [-db FILE]       offline analysis over recorded logs
+  profile [-addr A] [-iterations N]     run the suite under a live metrics +
+                                        pprof HTTP server
   mark-benign -db FILE -race "A <-> B"  record a developer benign verdict
+
+most commands also take -metrics[=text|json|prom] and -metrics-out FILE to
+emit pipeline observability data (stage spans, counters, histograms).
   debug <LOG>                           time-travel debugger over a replay log
   disasm <prog.rasm>                    disassemble an assembled program
   scenarios                             list built-in workload scenarios
@@ -142,6 +149,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	policy := fs.String("policy", "random", "scheduler policy: random, rr, pct")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run wants one program file")
@@ -154,12 +162,13 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	log, err := racereplay.Record(prog, racereplay.Config{Seed: *seed, Policy: pol})
+	reg := metrics.registry()
+	log, err := racereplay.RecordInstrumented(prog, racereplay.Config{Seed: *seed, Policy: pol}, reg)
 	if err != nil {
 		return err
 	}
 	printThreads(log)
-	return nil
+	return metrics.emit(reg)
 }
 
 func printThreads(log *racereplay.Log) {
@@ -178,6 +187,7 @@ func cmdRecord(args []string) error {
 	out := fs.String("o", "out.rlog", "log output path")
 	policy := fs.String("policy", "random", "scheduler policy: random, rr, pct")
 	keyframes := fs.Uint64("keyframes", 0, "emit a key frame every N instructions (0 = off)")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("record wants one program file")
@@ -191,11 +201,16 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	cfg := racereplay.Config{Seed: *seed, Policy: pol}
+	reg := metrics.registry()
 	var log *racereplay.Log
 	if *keyframes > 0 {
+		// Key-frame recording has no per-event metrics observer; time it
+		// under the record span so the ladder still sees the stage.
+		sp := reg.StartSpan("record")
 		log, err = racereplay.RecordWithKeyFrames(prog, cfg, *keyframes)
+		sp.End()
 	} else {
-		log, err = racereplay.Record(prog, cfg)
+		log, err = racereplay.RecordInstrumented(prog, cfg, reg)
 	}
 	if err != nil {
 		return err
@@ -212,11 +227,12 @@ func cmdRecord(args []string) error {
 	fmt.Fprintf(stdout, "recorded %d instructions across %d threads\n", s.Instructions, len(log.Threads))
 	fmt.Fprintf(stdout, "log: %d bytes raw (%.2f bits/instr), %d bytes compressed (%.2f bits/instr) -> %s\n",
 		s.RawBytes, s.RawBitsPerInstr(), s.CompressedBytes, s.CompressedBitsPerInstr(), *out)
-	return nil
+	return metrics.emit(reg)
 }
 
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay wants one log file")
@@ -225,7 +241,8 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	exec, err := racereplay.Replay(log)
+	reg := metrics.registry()
+	exec, err := racereplay.ReplayInstrumented(log, reg)
 	if err != nil {
 		return err
 	}
@@ -238,13 +255,14 @@ func cmdReplay(args []string) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-	return nil
+	return metrics.emit(reg)
 }
 
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	detector := fs.String("detector", "hb", "hb (paper), vc (vector clock), or lockset (Eraser baseline)")
 	triage := fs.Bool("triage", false, "with -detector lockset: replay-triage the warnings")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("detect wants one log file")
@@ -253,13 +271,14 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	exec, err := racereplay.Replay(log)
+	reg := metrics.registry()
+	exec, err := racereplay.ReplayInstrumented(log, reg)
 	if err != nil {
 		return err
 	}
 	switch *detector {
 	case "hb":
-		printRaces(racereplay.DetectRaces(exec))
+		printRaces(racereplay.DetectRacesInstrumented(exec, reg))
 	case "vc":
 		rep, err := racereplay.DetectRacesVC(exec)
 		if err != nil {
@@ -282,7 +301,7 @@ func cmdDetect(args []string) error {
 	default:
 		return fmt.Errorf("unknown detector %q", *detector)
 	}
-	return nil
+	return metrics.emit(reg)
 }
 
 func printRaces(rep *hb.Report) {
@@ -296,6 +315,7 @@ func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	dbPath := fs.String("db", "", "race database for suppression")
 	raceFilter := fs.String("race", "", "only report the race with this site pair")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("classify wants one log file")
@@ -308,12 +328,14 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := racereplay.AnalyzeLog(log, racereplay.Options{DB: db, Scenario: log.Prog.Name, Seed: log.Seed})
+	reg := metrics.registry()
+	res, err := racereplay.AnalyzeLogInstrumented(log,
+		racereplay.Options{DB: db, Scenario: log.Prog.Name, Seed: log.Seed}, reg)
 	if err != nil {
 		return err
 	}
 	printClassification(res.Classification, *raceFilter)
-	return nil
+	return metrics.emit(reg)
 }
 
 func cmdScenario(args []string) error {
@@ -323,6 +345,7 @@ func cmdScenario(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	raceFilter := fs.String("race", "", "only report the race with this site pair")
 	dump := fs.Bool("dump", false, "print the scenario's generated assembly and exit")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	s, err := workloads.FindScenario(*name)
 	if err != nil {
@@ -343,16 +366,17 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := racereplay.Analyze(prog, s.Config(), racereplay.Options{
+	reg := metrics.registry()
+	res, err := racereplay.AnalyzeInstrumented(prog, s.Config(), racereplay.Options{
 		Scenario: s.Name, Seed: s.Seed, DB: db,
-	})
+	}, reg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "scenario %s (seed %d): %d instructions, %d threads\n",
 		s.Name, s.Seed, res.Log.Instructions(), len(res.Log.Threads))
 	printClassification(res.Classification, *raceFilter)
-	return nil
+	return metrics.emit(reg)
 }
 
 func cmdSuite(args []string) error {
@@ -360,15 +384,18 @@ func cmdSuite(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	verbose := fs.Bool("v", false, "print a report for every race")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
 	if err != nil {
 		return err
 	}
-	run, err := racereplay.RunSuiteSeeds(db, *seeds)
+	reg := metrics.registry()
+	run, err := racereplay.RunSuiteSeedsInstrumented(db, *seeds, reg)
 	if err != nil {
 		return err
 	}
+	sp := reg.StartSpan("report")
 	fmt.Fprint(stdout, report.Summary(run.Merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(run.Merged, report.SuiteTruth).Render())
@@ -378,7 +405,8 @@ func cmdSuite(args []string) error {
 			fmt.Fprint(stdout, report.RaceReport(r, report.SuiteTruth))
 		}
 	}
-	return nil
+	sp.End()
+	return metrics.emit(reg)
 }
 
 func printClassification(c *racereplay.Classification, filter string) {
@@ -406,10 +434,12 @@ func cmdRecordSuite(args []string) error {
 	fs := flag.NewFlagSet("record-suite", flag.ExitOnError)
 	dir := fs.String("dir", "logs", "output directory")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
+	reg := metrics.registry()
 	var totalInstr uint64
 	var totalBytes int
 	count := 0
@@ -421,7 +451,7 @@ func cmdRecordSuite(args []string) error {
 			if err != nil {
 				return err
 			}
-			log, err := racereplay.Record(prog, s.Config())
+			log, err := racereplay.RecordInstrumented(prog, s.Config(), reg)
 			if err != nil {
 				return err
 			}
@@ -443,7 +473,7 @@ func cmdRecordSuite(args []string) error {
 	}
 	fmt.Fprintf(stdout, "recorded %d executions: %d instructions, %d bytes of compressed logs -> %s\n",
 		count, totalInstr, totalBytes, *dir)
-	return nil
+	return metrics.emit(reg)
 }
 
 // cmdAnalyzeDir implements the offline half: replay every stored log,
@@ -452,11 +482,13 @@ func cmdAnalyzeDir(args []string) error {
 	fs := flag.NewFlagSet("analyze-dir", flag.ExitOnError)
 	dir := fs.String("dir", "logs", "directory of .rlog files")
 	dbPath := fs.String("db", "", "race database for suppression")
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
 	if err != nil {
 		return err
 	}
+	reg := metrics.registry()
 	entries, err := filepath.Glob(filepath.Join(*dir, "*.rlog"))
 	if err != nil {
 		return err
@@ -471,9 +503,9 @@ func cmdAnalyzeDir(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		res, err := racereplay.AnalyzeLog(log, racereplay.Options{
+		res, err := racereplay.AnalyzeLogInstrumented(log, racereplay.Options{
 			Scenario: filepath.Base(path), Seed: log.Seed, DB: db,
-		})
+		}, reg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -484,7 +516,7 @@ func cmdAnalyzeDir(args []string) error {
 	fmt.Fprint(stdout, report.Summary(merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(merged, report.SuiteTruth).Render())
-	return nil
+	return metrics.emit(reg)
 }
 
 func cmdMarkBenign(args []string) error {

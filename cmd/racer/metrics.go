@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	racereplay "repro"
+)
+
+// metricsOpts is the shared -metrics/-metrics-out flag pair. The
+// -metrics flag is bool-style with an optional value: a bare -metrics
+// selects the text format, -metrics=json and -metrics=prom pick the
+// machine-readable renderings.
+type metricsOpts struct {
+	format string // "", "text", "json", "prom"
+	out    string // "" = stdout
+}
+
+// addMetricsFlags registers -metrics and -metrics-out on fs.
+func addMetricsFlags(fs *flag.FlagSet) *metricsOpts {
+	m := &metricsOpts{}
+	fs.Var((*metricsFormatFlag)(&m.format), "metrics",
+	"emit pipeline metrics: text (default), json, or prom")
+	fs.StringVar(&m.out, "metrics-out", "", "write metrics to this file instead of stdout")
+	return m
+}
+
+// metricsFormatFlag lets -metrics work both bare and with a value.
+type metricsFormatFlag string
+
+func (f *metricsFormatFlag) String() string { return string(*f) }
+
+func (f *metricsFormatFlag) IsBoolFlag() bool { return true }
+
+func (f *metricsFormatFlag) Set(v string) error {
+	switch v {
+	case "true", "text", "":
+		*f = "text"
+	case "false":
+		*f = ""
+	case "json", "prom":
+		*f = metricsFormatFlag(v)
+	default:
+		return fmt.Errorf("unknown metrics format %q (want text, json, or prom)", v)
+	}
+	return nil
+}
+
+// registry returns the registry to thread through the pipeline: nil when
+// metrics are off, which keeps every instrumented entry point free.
+func (m *metricsOpts) registry() *racereplay.Metrics {
+	if m.format == "" {
+		return nil
+	}
+	return racereplay.NewMetrics()
+}
+
+// emit renders the registry snapshot in the selected format, to stdout or
+// -metrics-out. A nil registry (metrics off) emits nothing.
+func (m *metricsOpts) emit(reg *racereplay.Metrics) error {
+	if reg == nil || m.format == "" {
+		return nil
+	}
+	snap := reg.Snapshot()
+	var body string
+	switch m.format {
+	case "json":
+		body = snap.JSON()
+	case "prom":
+		body = snap.Prometheus()
+	default:
+		body = snap.Text()
+	}
+	if m.out != "" {
+		return os.WriteFile(m.out, []byte(body), 0o644)
+	}
+	fmt.Fprint(stdout, "\n--- metrics ---\n"+body)
+	return nil
+}

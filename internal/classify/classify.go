@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/vproc"
 )
@@ -200,6 +202,10 @@ type Options struct {
 	// bit-identical to the serial run; this is purely a wall-clock lever
 	// for the offline analysis (the paper's 280x stage).
 	Parallel int
+	// Metrics, when set, receives the classify.* counters (instances by
+	// outcome, races by verdict, replay-failure causes) and is forwarded
+	// to the virtual processor for its vproc.* counters.
+	Metrics *obs.Registry
 }
 
 // Run analyzes every instance of every race in report and returns the
@@ -212,6 +218,7 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	if opts.UseOracle {
 		vopts.Oracle = replay.BuildVersionedMemory(exec)
 	}
+	vopts.Metrics = opts.Metrics
 	cls := &Classification{}
 	for _, race := range report.Races {
 		rr := &RaceResult{Sites: race.Sites}
@@ -230,6 +237,7 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 				rr.SC++
 			case vproc.ReplayFailure:
 				rr.RF++
+				countFailureCause(opts.Metrics, res.FailReason)
 			}
 			// Keep the first sample of each outcome kind, then fill up.
 			keep := len(rr.Samples) < opts.MaxSamplesPerRace &&
@@ -264,7 +272,60 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 		cls.Races = append(cls.Races, rr)
 	}
 	sortRaces(cls.Races)
+	publishMetrics(opts.Metrics, cls)
 	return cls
+}
+
+// publishMetrics flushes one execution's classification tallies (no-op
+// without a registry). Instance counters accumulate across executions;
+// the race counters count per-execution classifications, so a race seen
+// in N executions contributes N (Merge re-derives the final verdict).
+func publishMetrics(reg *obs.Registry, cls *Classification) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("classify.executions").Inc()
+	for _, r := range cls.Races {
+		reg.Counter("classify.races").Inc()
+		reg.Counter("classify.instances_total").Add(uint64(r.Total))
+		reg.Counter("classify.instances_nsc").Add(uint64(r.NSC))
+		reg.Counter("classify.instances_sc").Add(uint64(r.SC))
+		reg.Counter("classify.instances_rf").Add(uint64(r.RF))
+		if r.Verdict == PotentiallyBenign {
+			reg.Counter("classify.races_potentially_benign").Inc()
+		} else {
+			reg.Counter("classify.races_potentially_harmful").Inc()
+		}
+		if r.Suppressed {
+			reg.Counter("classify.races_suppressed").Inc()
+		}
+	}
+}
+
+// countFailureCause buckets a vproc replay-failure reason into a coarse
+// cause counter, keyed by the stable message fragments runOrder emits.
+// The order prefix ("original order: " / "alternative order: ") is
+// ignored; unknown messages land in the "other" bucket.
+func countFailureCause(reg *obs.Registry, reason string) {
+	if reg == nil {
+		return
+	}
+	cause := "other"
+	for _, c := range []struct{ frag, name string }{
+		{"control flow diverged", "control_flow_divergence"},
+		{"diverged out of the region", "region_divergence"},
+		{"control flow left the program", "left_program"},
+		{"step budget exhausted", "budget_exhausted"},
+		{"not captured in live-in memory", "livein_miss"},
+		{"unreplayable syscall", "unreplayable_syscall"},
+		{"fault during replay", "fault"},
+	} {
+		if strings.Contains(reason, c.frag) {
+			cause = c.name
+			break
+		}
+	}
+	reg.Counter("classify.replay_failure_" + cause).Inc()
 }
 
 // analyzeInstances runs the dual-order analysis for every instance,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hb"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -37,33 +38,64 @@ func Record(prog *isa.Program, cfg machine.Config) (*trace.Log, *machine.Result,
 	return record.Run(prog, cfg)
 }
 
+// RecordInstrumented is Record with stage metrics: the run is timed
+// under a "record" span and the recorder publishes its record.* counters
+// into reg. A nil reg is exactly Record.
+func RecordInstrumented(prog *isa.Program, cfg machine.Config, reg *obs.Registry) (*trace.Log, *machine.Result, error) {
+	return record.RunInstrumented(prog, cfg, reg)
+}
+
 // AnalyzeLog runs the offline half over an existing log: replay,
 // happens-before detection, and dual-order classification.
 func AnalyzeLog(log *trace.Log, opts classify.Options) (*Result, error) {
-	exec, err := replay.Run(log, replay.Options{})
+	return AnalyzeLogInstrumented(log, opts, nil)
+}
+
+// AnalyzeLogInstrumented is AnalyzeLog with stage metrics: each offline
+// stage runs under its own span ("replay", "detect", "classify") and
+// publishes its counters into reg, which is also forwarded to the
+// classifier and virtual processor. A nil reg is exactly AnalyzeLog.
+func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Registry) (*Result, error) {
+	sp := reg.StartSpan("replay")
+	exec, err := replay.Run(log, replay.Options{Metrics: reg})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	races := hb.Detect(exec)
+	sp = reg.StartSpan("detect")
+	races := hb.DetectInstrumented(exec, reg)
+	sp.End()
+	if reg != nil {
+		opts.Metrics = reg
+	}
+	sp = reg.StartSpan("classify")
+	cls := classify.Run(exec, races, opts)
+	sp.End()
 	return &Result{
 		Prog:           log.Prog,
 		Log:            log,
 		Exec:           exec,
 		Races:          races,
-		Classification: classify.Run(exec, races, opts),
+		Classification: cls,
 	}, nil
 }
 
 // Analyze is the whole pipeline: record prog, then analyze the log.
 func Analyze(prog *isa.Program, cfg machine.Config, opts classify.Options) (*Result, error) {
-	log, mres, err := Record(prog, cfg)
+	return AnalyzeInstrumented(prog, cfg, opts, nil)
+}
+
+// AnalyzeInstrumented is Analyze with stage metrics threaded through
+// every layer of the pipeline. A nil reg is exactly Analyze.
+func AnalyzeInstrumented(prog *isa.Program, cfg machine.Config, opts classify.Options, reg *obs.Registry) (*Result, error) {
+	log, mres, err := RecordInstrumented(prog, cfg, reg)
 	if err != nil {
 		return nil, err
 	}
 	if opts.Seed == 0 {
 		opts.Seed = cfg.Seed
 	}
-	res, err := AnalyzeLog(log, opts)
+	res, err := AnalyzeLogInstrumented(log, opts, reg)
 	if err != nil {
 		return nil, err
 	}

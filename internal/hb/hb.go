@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -83,12 +84,19 @@ type accessRef struct {
 
 // Detect runs the paper's region-overlap detector over exec.
 func Detect(exec *replay.Execution) *Report {
-	return detect(exec, func(a, b *replay.Region) bool { return a.Overlaps(b) })
+	return DetectInstrumented(exec, nil)
+}
+
+// DetectInstrumented is Detect with stage metrics: reg receives the
+// detect.* counters (addresses indexed, region pairs examined vs.
+// conflicting, races and instances found). Nil reg is free.
+func DetectInstrumented(exec *replay.Execution, reg *obs.Registry) *Report {
+	return detect(exec, func(a, b *replay.Region) bool { return a.Overlaps(b) }, reg)
 }
 
 // detect is the shared conflict search, parameterized by the concurrency
 // test on region pairs.
-func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *Report {
+func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, reg *obs.Registry) *Report {
 	// Index data accesses by address. Atomic (lock-prefixed) accesses are
 	// synchronization, not data: skip them here.
 	byAddr := make(map[uint64][]accessRef)
@@ -103,6 +111,7 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *
 
 	races := make(map[SitePair]*Race)
 	total := 0
+	var pairsExamined, pairsConflicting uint64
 	// seen dedupes instances: one per (site pair, region pair, address).
 	type instKey struct {
 		sites  SitePair
@@ -145,9 +154,11 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *
 		for i := 0; i < len(groups); i++ {
 			for j := i + 1; j < len(groups); j++ {
 				ga, gb := groups[i], groups[j]
+				pairsExamined++
 				if ga.reg.TID == gb.reg.TID || !concurrent(ga.reg, gb.reg) {
 					continue
 				}
+				pairsConflicting++
 				// Conflicting pairs: write/write, write/read, read/write.
 				emit := func(a, b replay.Access) {
 					sites := MakeSitePair(a.Site(exec.Prog), b.Site(exec.Prog))
@@ -187,6 +198,14 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *
 		}
 	}
 
+	if reg != nil {
+		reg.Counter("detect.executions").Inc()
+		reg.Counter("detect.addresses_indexed").Add(uint64(len(byAddr)))
+		reg.Counter("detect.region_pairs_examined").Add(pairsExamined)
+		reg.Counter("detect.region_pairs_conflicting").Add(pairsConflicting)
+		reg.Counter("detect.races").Add(uint64(len(races)))
+		reg.Counter("detect.instances").Add(uint64(total))
+	}
 	rep := &Report{TotalInstances: total}
 	for _, race := range races {
 		rep.Races = append(rep.Races, race)
@@ -205,13 +224,19 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool) *
 // synchronization structure, and conflicting accesses in VC-concurrent
 // regions race.
 func DetectVC(exec *replay.Execution) (*Report, error) {
+	return DetectVCInstrumented(exec, nil)
+}
+
+// DetectVCInstrumented is DetectVC with the same detect.* counters as
+// DetectInstrumented.
+func DetectVCInstrumented(exec *replay.Execution, reg *obs.Registry) (*Report, error) {
 	clocks, err := RegionClocks(exec)
 	if err != nil {
 		return nil, err
 	}
 	return detect(exec, func(a, b *replay.Region) bool {
 		return clocks[a.Global].Concurrent(clocks[b.Global])
-	}), nil
+	}, reg), nil
 }
 
 // RegionClocks computes one vector clock per region (indexed by

@@ -1,0 +1,101 @@
+package machine
+
+import "repro/internal/isa"
+
+// MultiObserver fans the machine's event stream out to several observers
+// in registration order. Config.Observer accepts a single consumer; the
+// fan-out lets the recorder and an instrumentation observer (or any
+// other listener) attach to the same run without interfering — every
+// observer sees the identical stream of callbacks.
+//
+// Construct it with NewMultiObserver, which also preserves the KeyFramer
+// extension: the result implements KeyFramer exactly when at least one
+// wrapped observer does, so the machine's construction-time interface
+// check keeps working and plain observers still pay nothing per retire.
+type MultiObserver struct {
+	obs []Observer
+}
+
+// NewMultiObserver combines observers into one. Nil entries are dropped;
+// zero observers yield nil (no observation), and a single observer is
+// returned unwrapped so the common one-consumer path is unchanged.
+func NewMultiObserver(observers ...Observer) Observer {
+	list := make([]Observer, 0, len(observers))
+	kfs := make([]KeyFramer, 0, len(observers))
+	for _, o := range observers {
+		if o == nil {
+			continue
+		}
+		list = append(list, o)
+		if kf, ok := o.(KeyFramer); ok {
+			kfs = append(kfs, kf)
+		}
+	}
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	}
+	m := &MultiObserver{obs: list}
+	if len(kfs) > 0 {
+		return &multiKeyFramer{MultiObserver: m, kfs: kfs}
+	}
+	return m
+}
+
+// ThreadStarted implements Observer.
+func (m *MultiObserver) ThreadStarted(t *Thread, startTS uint64) {
+	for _, o := range m.obs {
+		o.ThreadStarted(t, startTS)
+	}
+}
+
+// ThreadEnded implements Observer.
+func (m *MultiObserver) ThreadEnded(t *Thread, endTS uint64) {
+	for _, o := range m.obs {
+		o.ThreadEnded(t, endTS)
+	}
+}
+
+// Load implements Observer.
+func (m *MultiObserver) Load(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	for _, o := range m.obs {
+		o.Load(tid, idx, pc, addr, val, atomic)
+	}
+}
+
+// Store implements Observer.
+func (m *MultiObserver) Store(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	for _, o := range m.obs {
+		o.Store(tid, idx, pc, addr, val, atomic)
+	}
+}
+
+// Sequencer implements Observer.
+func (m *MultiObserver) Sequencer(tid int, idx uint64, ts uint64, op isa.Op, sysNum int64) {
+	for _, o := range m.obs {
+		o.Sequencer(tid, idx, ts, op, sysNum)
+	}
+}
+
+// SyscallRet implements Observer.
+func (m *MultiObserver) SyscallRet(tid int, idx uint64, res uint64) {
+	for _, o := range m.obs {
+		o.SyscallRet(tid, idx, res)
+	}
+}
+
+// multiKeyFramer is the fan-out variant returned when some wrapped
+// observer implements KeyFramer; AfterRetire forwards only to those.
+type multiKeyFramer struct {
+	*MultiObserver
+	kfs []KeyFramer
+}
+
+// AfterRetire implements KeyFramer.
+func (m *multiKeyFramer) AfterRetire(t *Thread) {
+	for _, kf := range m.kfs {
+		kf.AfterRetire(t)
+	}
+}

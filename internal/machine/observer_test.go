@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// eventTap records every observer callback as a comparable string, so
+// two taps attached to the same run can be diffed stream-for-stream.
+type eventTap struct {
+	events []string
+	// retires counts AfterRetire calls when the tap is wrapped as a
+	// tapKeyFramer.
+	retires int
+}
+
+func (e *eventTap) ThreadStarted(t *Thread, startTS uint64) {
+	e.events = append(e.events, fmt.Sprintf("start t%d ts%d pc%d", t.ID, startTS, t.Cpu.PC))
+}
+func (e *eventTap) ThreadEnded(t *Thread, endTS uint64) {
+	e.events = append(e.events, fmt.Sprintf("end t%d ts%d state%v", t.ID, endTS, t.State))
+}
+func (e *eventTap) Load(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	e.events = append(e.events, fmt.Sprintf("load t%d i%d pc%d a%x v%d %v", tid, idx, pc, addr, val, atomic))
+}
+func (e *eventTap) Store(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
+	e.events = append(e.events, fmt.Sprintf("store t%d i%d pc%d a%x v%d %v", tid, idx, pc, addr, val, atomic))
+}
+func (e *eventTap) Sequencer(tid int, idx uint64, ts uint64, op isa.Op, sysNum int64) {
+	e.events = append(e.events, fmt.Sprintf("seq t%d i%d ts%d op%d sys%d", tid, idx, ts, op, sysNum))
+}
+func (e *eventTap) SyscallRet(tid int, idx uint64, res uint64) {
+	e.events = append(e.events, fmt.Sprintf("sysret t%d i%d r%d", tid, idx, res))
+}
+
+// tapKeyFramer adds the KeyFramer extension to an eventTap.
+type tapKeyFramer struct{ *eventTap }
+
+func (k *tapKeyFramer) AfterRetire(t *Thread) { k.retires++ }
+
+const obsTestSrc = `
+.entry main
+.word g 0
+.word l 0
+worker:
+  ldi r2, g
+  ldi r4, l
+  lock [r4+0]
+  ld r3, [r2+0]
+  addi r3, r3, 1
+  st [r2+0], r3
+  unlock [r4+0]
+  ldi r1, 0
+  sys exit
+main:
+  ldi r1, worker
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  mov r1, r8
+  sys join
+  ldi r2, g
+  ld r1, [r2+0]
+  sys print
+  halt
+`
+
+func obsTestProg(t *testing.T) *isa.Program {
+	t.Helper()
+	prog, err := asm.Assemble("obs", obsTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestMultiObserverIdenticalStreams runs the same seeded program once
+// with a single observer and once with two observers behind a
+// MultiObserver, and demands all three taps saw the very same stream.
+func TestMultiObserverIdenticalStreams(t *testing.T) {
+	prog := obsTestProg(t)
+
+	solo := &eventTap{}
+	m, err := New(prog, Config{Seed: 42, Observer: solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+
+	a, b := &eventTap{}, &eventTap{}
+	m2, err := New(prog, Config{Seed: 42, Observer: NewMultiObserver(a, nil, b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Run()
+
+	if len(solo.events) == 0 {
+		t.Fatal("no events observed")
+	}
+	if !reflect.DeepEqual(solo.events, a.events) {
+		t.Errorf("first fan-out observer diverged from solo run:\nsolo %v\nfan  %v", solo.events, a.events)
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Errorf("fan-out observers diverged from each other:\na %v\nb %v", a.events, b.events)
+	}
+}
+
+// TestMultiObserverKeyFramer proves the KeyFramer extension survives the
+// fan-out: AfterRetire fires once per retired instruction for exactly
+// the wrapped observers that implement it.
+func TestMultiObserverKeyFramer(t *testing.T) {
+	prog := obsTestProg(t)
+	plain := &eventTap{}
+	kf := &tapKeyFramer{&eventTap{}}
+	multi := NewMultiObserver(plain, kf)
+	if _, ok := multi.(KeyFramer); !ok {
+		t.Fatal("fan-out with a KeyFramer member must implement KeyFramer")
+	}
+	m, err := New(prog, Config{Seed: 7, Observer: multi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	// AfterRetire fires on StepContinue only (not on halt/exit retires):
+	// two sys exit + one halt end threads without an AfterRetire.
+	want := int(res.TotalSteps) - len(res.Threads)
+	if kf.retires != want {
+		t.Errorf("AfterRetire fired %d times, want %d (total steps %d)", kf.retires, want, res.TotalSteps)
+	}
+	if plain.retires != 0 {
+		t.Error("plain observer must not receive AfterRetire")
+	}
+	if !reflect.DeepEqual(plain.events, kf.events) {
+		t.Error("KeyFramer member must still see the full event stream")
+	}
+
+	// No KeyFramer member: the fan-out must NOT advertise the interface,
+	// so the machine skips the per-retire hook entirely.
+	if _, ok := NewMultiObserver(&eventTap{}, &eventTap{}).(KeyFramer); ok {
+		t.Error("fan-out without KeyFramer members must not implement KeyFramer")
+	}
+}
+
+// TestNewMultiObserverCollapses checks the degenerate arities.
+func TestNewMultiObserverCollapses(t *testing.T) {
+	if NewMultiObserver() != nil {
+		t.Error("zero observers must collapse to nil")
+	}
+	if NewMultiObserver(nil, nil) != nil {
+		t.Error("all-nil observers must collapse to nil")
+	}
+	tap := &eventTap{}
+	if got := NewMultiObserver(nil, tap); got != Observer(tap) {
+		t.Error("single observer must be returned unwrapped")
+	}
+}
+
+// TestMetricsObserverCounts runs a program with recorder-free metrics
+// observation and checks the counters add up against a reference tap.
+func TestMetricsObserverCounts(t *testing.T) {
+	prog := obsTestProg(t)
+	reg := obs.NewRegistry()
+	tap := &eventTap{}
+	mo := NewMetricsObserver(reg)
+	m, err := New(prog, Config{Seed: 3, Observer: NewMultiObserver(tap, mo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+
+	count := func(prefix string) uint64 {
+		var n uint64
+		for _, e := range tap.events {
+			if len(e) >= len(prefix) && e[:len(prefix)] == prefix {
+				n++
+			}
+		}
+		return n
+	}
+	snap := reg.Snapshot()
+	for counter, prefix := range map[string]string{
+		"machine.loads":           "load ",
+		"machine.stores":          "store ",
+		"machine.sequencers":      "seq ",
+		"machine.syscall_returns": "sysret ",
+		"machine.threads_started": "start ",
+		"machine.threads_ended":   "end ",
+	} {
+		if got, want := snap.Counters[counter], count(prefix); got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+	if snap.Counters["machine.loads"] == 0 || snap.Counters["machine.sequencers"] == 0 {
+		t.Error("test program should produce loads and sequencers")
+	}
+}

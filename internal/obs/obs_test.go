@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stage.events")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("stage.events") != c {
+		t.Error("counter not interned by name")
+	}
+
+	g := r.Gauge("stage.ratio")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+
+	h := r.Histogram("stage.sizes")
+	for _, v := range []int{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	hs := h.snapshot()
+	if hs.Count != 5 || hs.Sum != 110 || hs.Min != 1 || hs.Max != 100 {
+		t.Errorf("histogram = %+v", hs)
+	}
+	if hs.P50 != 3 {
+		t.Errorf("p50 = %v", hs.P50)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(7)
+	sp := r.StartSpan("stage")
+	sp.End()
+	ran := false
+	r.Time("t", func() { ran = true })
+	if !ran {
+		t.Error("Time must run f even when disabled")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if snap.Text() == "" || snap.JSON() == "" {
+		t.Error("empty snapshot must still render")
+	}
+}
+
+func TestCountersAreGoroutineSafe(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hot")
+			h := r.Histogram("dist")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hot").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if hs := r.Snapshot().Histograms["dist"]; hs.Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", hs.Count)
+	}
+}
+
+func TestHistogramSampleCap(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < maxHistogramSamples+100; i++ {
+		h.Observe(i)
+	}
+	hs := h.snapshot()
+	if hs.Count != maxHistogramSamples+100 {
+		t.Errorf("count = %d", hs.Count)
+	}
+	if hs.Max != maxHistogramSamples+99 {
+		t.Errorf("max must cover uncapped samples, got %d", hs.Max)
+	}
+	if len(h.samples) != maxHistogramSamples {
+		t.Errorf("sample buffer = %d, want cap %d", len(h.samples), maxHistogramSamples)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("record.loads_logged").Add(42)
+	r.Gauge("record.bits_per_instr").Set(1.5)
+	r.Time("record", func() { r.Counter("record.sequencers").Add(7) })
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(r.Snapshot().JSON()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if decoded.Counters["record.loads_logged"] != 42 {
+		t.Errorf("decoded counters = %v", decoded.Counters)
+	}
+	if len(decoded.Spans) != 1 || decoded.Spans[0].Name != "record" {
+		t.Errorf("decoded spans = %+v", decoded.Spans)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("detect.instances").Add(9)
+	r.Gauge("record.bits_per_instr").Set(1.25)
+	r.Histogram("classify.per_race").Observe(3)
+	r.Time("suite", func() {
+		r.Time("record", func() {})
+	})
+	out := r.Snapshot().Text()
+	for _, want := range []string{"detect.instances", "9", "record.bits_per_instr", "classify.per_race", "suite", "  record"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Span is one named stage of the pipeline. Spans nest (a suite span
+// contains record/replay/detect/classify spans) and merge by name: the
+// second StartSpan("record") under the same parent accumulates into the
+// first span's totals instead of growing the tree, so an 18-scenario
+// suite run still renders as one compact stage ladder.
+//
+// Each start/end cycle accumulates wall time plus heap-allocation deltas
+// (bytes and object counts from runtime.MemStats), which is how the
+// §5.1-style overhead ladder attributes both time and memory per stage.
+type Span struct {
+	name     string
+	parent   *Span
+	children map[string]*Span
+	order    []*Span // children in first-start order
+	reg      *Registry
+
+	count  uint64 // completed start/end cycles
+	nanos  int64  // accumulated wall time
+	bytes  uint64 // accumulated heap bytes allocated
+	allocs uint64 // accumulated heap objects allocated
+
+	// In-flight state of the current cycle.
+	started     time.Time
+	startBytes  uint64
+	startAllocs uint64
+	active      bool
+}
+
+// StartSpan opens (or re-opens) the named child of the innermost active
+// span and makes it current. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := r.cur
+	if parent.children == nil {
+		parent.children = make(map[string]*Span)
+	}
+	s := parent.children[name]
+	if s == nil {
+		s = &Span{name: name, parent: parent, reg: r}
+		parent.children[name] = s
+		parent.order = append(parent.order, s)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.started = time.Now()
+	s.startBytes = ms.TotalAlloc
+	s.startAllocs = ms.Mallocs
+	s.active = true
+	r.cur = s
+	return s
+}
+
+// End closes the span, folding the cycle's wall time and allocation
+// deltas into its totals and restoring its parent as current. Ending a
+// span that is not innermost first unwinds abandoned children. No-op on
+// nil or when the span is not active.
+func (s *Span) End() {
+	if s == nil || !s.active {
+		return
+	}
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.count++
+	s.nanos += time.Since(s.started).Nanoseconds()
+	if ms.TotalAlloc > s.startBytes {
+		s.bytes += ms.TotalAlloc - s.startBytes
+	}
+	if ms.Mallocs > s.startAllocs {
+		s.allocs += ms.Mallocs - s.startAllocs
+	}
+	s.active = false
+	r.cur = s.parent
+}
+
+// Time runs f inside a span named name (a convenience for one-shot
+// stages). Safe on a nil registry: f still runs, untimed.
+func (r *Registry) Time(name string, f func()) {
+	sp := r.StartSpan(name)
+	f()
+	sp.End()
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,18 @@ type Recorder struct {
 	seed    int64
 	threads map[int]*threadRec
 	order   []int // tids in start order
+
+	// Metrics, when set, receives the recorder's stage counters at
+	// Finish (loads logged vs. predicted, sequencers, stores). The
+	// per-event path only bumps plain ints, so recording with metrics
+	// off is unchanged.
+	Metrics *obs.Registry
+
+	nLoads       uint64 // loads observed
+	nLoadsLogged uint64 // loads the predictability rule had to log
+	nStores      uint64
+	nSeqs        uint64
+	nSysRets     uint64
 }
 
 type threadRec struct {
@@ -59,8 +72,10 @@ func (r *Recorder) ThreadStarted(t *machine.Thread, startTS uint64) {
 // Load implements machine.Observer, applying the predictability rule.
 func (r *Recorder) Load(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
 	tr := r.threads[tid]
+	r.nLoads++
 	if v, known := tr.view[addr]; !known || v != val {
 		tr.log.Loads = append(tr.log.Loads, trace.LoadRec{Idx: idx, Addr: addr, Val: val})
+		r.nLoadsLogged++
 	}
 	tr.view[addr] = val
 }
@@ -68,6 +83,7 @@ func (r *Recorder) Load(tid int, idx uint64, pc int, addr, val uint64, atomic bo
 // Store implements machine.Observer.
 func (r *Recorder) Store(tid int, idx uint64, pc int, addr, val uint64, atomic bool) {
 	r.threads[tid].view[addr] = val
+	r.nStores++
 }
 
 // Sequencer implements machine.Observer.
@@ -79,12 +95,14 @@ func (r *Recorder) Sequencer(tid int, idx uint64, ts uint64, op isa.Op, sysNum i
 		aux = sysNum
 	}
 	tr.log.Seqs = append(tr.log.Seqs, trace.Sequencer{Idx: idx, TS: ts, Kind: kind, Aux: aux})
+	r.nSeqs++
 }
 
 // SyscallRet implements machine.Observer.
 func (r *Recorder) SyscallRet(tid int, idx uint64, r0 uint64) {
 	tr := r.threads[tid]
 	tr.log.SysRets = append(tr.log.SysRets, trace.SysRec{Idx: idx, Res: r0})
+	r.nSysRets++
 }
 
 // ThreadEnded implements machine.Observer.
@@ -142,7 +160,65 @@ func (r *Recorder) Finish(res *machine.Result) *trace.Log {
 		}
 		log.Threads = append(log.Threads, tr.log)
 	}
+	r.publishMetrics(res)
 	return log
+}
+
+// publishMetrics flushes the recorder's event tallies into the registry
+// (no-op without one). The loads split is the predictability rule's
+// effectiveness: loads_predicted were reconstructed from the thread's
+// own view and cost zero log bytes.
+func (r *Recorder) publishMetrics(res *machine.Result) {
+	reg := r.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("record.instructions").Add(res.TotalSteps)
+	reg.Counter("record.threads").Add(uint64(len(r.order)))
+	reg.Counter("record.loads_total").Add(r.nLoads)
+	reg.Counter("record.loads_logged").Add(r.nLoadsLogged)
+	reg.Counter("record.loads_predicted").Add(r.nLoads - r.nLoadsLogged)
+	reg.Counter("record.stores").Add(r.nStores)
+	reg.Counter("record.sequencers").Add(r.nSeqs)
+	reg.Counter("record.syscall_returns").Add(r.nSysRets)
+	if r.nLoads > 0 {
+		reg.Gauge("record.load_log_ratio").Set(float64(r.nLoadsLogged) / float64(r.nLoads))
+	}
+}
+
+// RunInstrumented is Run with stage metrics: the run is timed under a
+// "record" span, the recorder publishes its counters into reg, a
+// machine.MetricsObserver rides along behind a MultiObserver fan-out,
+// and the log's size is reported as the paper's bits/instruction gauges.
+// The size measurement compresses the log, which is bookkeeping rather
+// than recording, so it happens after the span ends. A nil reg degrades
+// to exactly Run.
+func RunInstrumented(prog *isa.Program, cfg machine.Config, reg *obs.Registry) (*trace.Log, *machine.Result, error) {
+	if reg == nil {
+		return Run(prog, cfg)
+	}
+	sp := reg.StartSpan("record")
+	rec := New(prog, cfg.Seed)
+	rec.Metrics = reg
+	cfg.Observer = machine.NewMultiObserver(rec, machine.NewMetricsObserver(reg))
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		sp.End()
+		return nil, nil, err
+	}
+	res := m.Run()
+	log := rec.Finish(res)
+	sp.End()
+	if err := log.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st := trace.Stats(log)
+	reg.Gauge("record.bits_per_instr_raw").Set(st.RawBitsPerInstr())
+	reg.Gauge("record.bits_per_instr_compressed").Set(st.CompressedBitsPerInstr())
+	reg.Counter("record.log_bytes_raw").Add(uint64(st.RawBytes))
+	reg.Counter("record.log_bytes_compressed").Add(uint64(st.CompressedBytes))
+	reg.Counter("record.executions").Inc()
+	return log, res, nil
 }
 
 // KeyFrameRecorder is a Recorder that also drops a key frame into each

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -154,6 +155,10 @@ type Options struct {
 	// backwards (iDNA's reverse debugging works the same way — replay to
 	// an earlier point).
 	StopAfterRegions int
+	// Metrics, when set, receives the replay stage counters (regions
+	// replayed, instructions re-executed, injected loads and syscall
+	// results). Nil costs nothing on the hot path.
+	Metrics *obs.Registry
 }
 
 // Run replays log completely. It fails if the log is internally
@@ -184,7 +189,8 @@ type Session struct {
 	opts      Options
 	exec      *Execution
 	replayers map[int]*threadReplayer
-	pos       int // regions processed so far
+	pos       int          // regions processed so far
+	cRegions  *obs.Counter // replay.regions (nil when uninstrumented)
 }
 
 // NewSession validates the log, builds the per-thread replayers, and
@@ -225,7 +231,13 @@ func NewSession(log *trace.Log, opts Options) (*Session, error) {
 	for i, r := range exec.Regions {
 		r.Global = i
 	}
-	return &Session{log: log, opts: opts, exec: exec, replayers: replayers}, nil
+	s := &Session{log: log, opts: opts, exec: exec, replayers: replayers}
+	if opts.Metrics != nil {
+		s.cRegions = opts.Metrics.Counter("replay.regions")
+		opts.Metrics.Counter("replay.executions").Inc()
+		opts.Metrics.Counter("replay.threads").Add(uint64(len(log.Threads)))
+	}
+	return s, nil
 }
 
 // Exec exposes the (partially processed) execution.
@@ -254,6 +266,7 @@ func (s *Session) StepRegion() error {
 	}
 	region := s.exec.Regions[s.pos]
 	tr := s.replayers[region.TID]
+	s.cRegions.Add(1)
 	region.HeapEpoch = len(s.exec.HeapEvents)
 	region.Accesses = region.Accesses[:0] // reprocessing after Restore starts clean
 	if err := tr.runRegion(region); err != nil {
@@ -398,6 +411,11 @@ type threadReplayer struct {
 	cur    *Region // region currently being replayed
 	result *ThreadReplay
 	err    error
+
+	// Stage counters, nil when the replay is uninstrumented.
+	cInstr   *obs.Counter // replay.instructions
+	cLoadInj *obs.Counter // replay.loads_injected
+	cSysInj  *obs.Counter // replay.sysrets_injected
 }
 
 func newThreadReplayer(prog *isa.Program, tl *trace.ThreadLog, exec *Execution, opts Options) *threadReplayer {
@@ -415,6 +433,11 @@ func newThreadReplayer(prog *isa.Program, tl *trace.ThreadLog, exec *Execution, 
 	}
 	tr.cpu.PC = tl.InitPC
 	tr.cpu.Regs = tl.InitRegs
+	if opts.Metrics != nil {
+		tr.cInstr = opts.Metrics.Counter("replay.instructions")
+		tr.cLoadInj = opts.Metrics.Counter("replay.loads_injected")
+		tr.cSysInj = opts.Metrics.Counter("replay.sysrets_injected")
+	}
 
 	// Carve regions from the sequencer list: region k spans
 	// [seq[k].Idx, seq[k+1].Idx) and [seq[k].TS, seq[k+1].TS).
@@ -461,6 +484,7 @@ func (tr *threadReplayer) runRegion(region *Region) error {
 			tr.idx++
 		}
 	}
+	tr.cInstr.Add(region.EndIdx - region.StartIdx)
 	tr.cur = nil
 	return nil
 }
@@ -483,6 +507,7 @@ func (tr *threadReplayer) Load(addr uint64, atomic bool, pc int) (uint64, *machi
 		rec := tr.log.Loads[tr.loadPtr]
 		if rec.Idx == tr.idx && rec.Addr == addr {
 			tr.loadPtr++
+			tr.cLoadInj.Add(1)
 			tr.mem[addr] = rec.Val
 			val = rec.Val
 			tr.record(Access{TID: tr.log.TID, Idx: tr.idx, PC: pc, Addr: addr, Val: val, Atomic: atomic})
@@ -547,6 +572,7 @@ func (tr *threadReplayer) Syscall(cpu *machine.Cpu, num int64, pc int) (machine.
 	}
 	rec := tr.log.SysRets[tr.sysPtr]
 	tr.sysPtr++
+	tr.cSysInj.Add(1)
 
 	// Mirror heap effects into the global event list (schedule order) and
 	// finish the opening-syscall annotations that need the result.

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// OverheadLadder renders the §5.1 per-stage overhead ladder from a
+// metrics snapshot instead of ad-hoc stopwatch calls: each rung is the
+// accumulated span time of one pipeline stage, expressed as a multiple
+// of the native (uninstrumented) baseline span. Offline stages are
+// cumulative, mirroring the paper's presentation — "happens-before
+// analysis" includes the replay it runs on, and "replay classification"
+// includes both. Stages without samples are omitted; with no native
+// span the multiples are omitted and absolute times remain.
+func OverheadLadder(snap obs.Snapshot) string {
+	native := snap.SpanNanos("native")
+	record := snap.SpanNanos("record")
+	replay := snap.SpanNanos("replay")
+	detect := snap.SpanNanos("detect")
+	classify := snap.SpanNanos("classify")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-stage overhead ladder (from spans; cf. paper section 5.1)\n")
+	if n := snap.Counters["native.executions"]; n > 0 {
+		fmt.Fprintf(&b, "  baseline over %d native execution(s), %d instructions\n",
+			n, snap.Counters["native.instructions"])
+	}
+	rung := func(label string, nanos int64, paper string) {
+		if nanos == 0 {
+			return
+		}
+		d := time.Duration(nanos).Round(time.Microsecond)
+		if native > 0 && label != "native execution" {
+			fmt.Fprintf(&b, "  %-26s %v (%.1fx native; paper %s)\n",
+				label+":", d, float64(nanos)/float64(native), paper)
+		} else {
+			fmt.Fprintf(&b, "  %-26s %v\n", label+":", d)
+		}
+	}
+	rung("native execution", native, "")
+	rung("recording", record, "~6x on x86")
+	rung("replay", replay, "~10x")
+	rung("happens-before analysis", replay+detect, "~45x")
+	rung("replay classification", replay+detect+classify, "~280x")
+	if ratio, ok := snap.Gauges["record.bits_per_instr_compressed"]; ok {
+		fmt.Fprintf(&b, "  log size: %.3f bits/instruction compressed (paper: ~0.5)\n", ratio)
+	}
+	return b.String()
+}

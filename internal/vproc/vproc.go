@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -103,6 +104,10 @@ type Options struct {
 	// "log enough information to continue" extension. The base tool of
 	// the paper runs without it.
 	Oracle *replay.VersionedMemory
+	// Metrics, when set, counts dual-order replays and their outcomes
+	// (vproc.* counters). The counters are atomic, so the parallel
+	// classification fan-out can share one registry.
+	Metrics *obs.Registry
 }
 
 // Analyze replays the race instance in both orders and classifies it
@@ -123,18 +128,24 @@ func AnalyzeOpts(exec *replay.Execution, pair RacePair, opts Options) Result {
 		pair.IdxA, pair.IdxB = pair.IdxB, pair.IdxA
 		pair.PCA, pair.PCB = pair.PCB, pair.PCA
 	}
+	reg := opts.Metrics
+	reg.Counter("vproc.instances_analyzed").Inc()
+	reg.Counter("vproc.order_replays").Add(2)
 	orig, failO := runOrder(exec, pair, true, opts)
 	alt, failA := runOrder(exec, pair, false, opts)
 	if failO != "" {
+		reg.Counter("vproc.order_failures_original").Inc()
 		return Result{Outcome: ReplayFailure, FailReason: "original order: " + failO}
 	}
 	if failA != "" {
+		reg.Counter("vproc.order_failures_alternative").Inc()
 		return Result{Outcome: ReplayFailure, FailReason: "alternative order: " + failA}
 	}
 	diffs := compare(orig, alt)
 	if len(diffs) == 0 {
 		return Result{Outcome: NoStateChange}
 	}
+	reg.Counter("vproc.liveout_diffs").Add(uint64(len(diffs)))
 	return Result{Outcome: StateChange, Diffs: diffs}
 }
 

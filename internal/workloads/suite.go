@@ -5,6 +5,9 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // ScenarioRun pairs a scenario with its full analysis.
@@ -24,18 +27,34 @@ type SuiteRun struct {
 // per-race verdicts of §5.2.1. db, when non-nil, suppresses races a
 // developer already marked benign.
 func RunSuite(db *classify.DB) (*SuiteRun, error) {
+	return RunSuiteInstrumented(db, nil)
+}
+
+// RunSuiteInstrumented is RunSuite with pipeline metrics: every
+// scenario's stages run under the merged "suite/record|replay|detect|
+// classify" spans, and each scenario is additionally run once on a bare
+// machine (no observer) under a "native" span — the §5.1 baseline the
+// overhead ladder is measured against. A nil reg is exactly RunSuite.
+func RunSuiteInstrumented(db *classify.DB, reg *obs.Registry) (*SuiteRun, error) {
 	run := &SuiteRun{}
 	var parts []*classify.Classification
+	suite := reg.StartSpan("suite")
+	defer suite.End()
 	for _, s := range Scenarios() {
 		prog, err := s.Program()
 		if err != nil {
 			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
 		}
-		res, err := core.Analyze(prog, s.Config(), classify.Options{
+		if reg != nil {
+			if err := runNative(prog, s.Config(), reg); err != nil {
+				return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
+			}
+		}
+		res, err := core.AnalyzeInstrumented(prog, s.Config(), classify.Options{
 			Scenario: s.Name,
 			Seed:     s.Seed,
 			DB:       db,
-		})
+		}, reg)
 		if err != nil {
 			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
 		}
@@ -43,7 +62,38 @@ func RunSuite(db *classify.DB) (*SuiteRun, error) {
 		parts = append(parts, res.Classification)
 	}
 	run.Merged = classify.Merge(parts...)
+	publishSuiteMetrics(reg, run)
 	return run, nil
+}
+
+// runNative executes prog on a bare machine — no observer, no recorder —
+// under the "native" span, giving the ladder its uninstrumented baseline.
+func runNative(prog *isa.Program, cfg machine.Config, reg *obs.Registry) error {
+	sp := reg.StartSpan("native")
+	defer sp.End()
+	cfg.Observer = nil
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		return err
+	}
+	res := m.Run()
+	reg.Counter("native.instructions").Add(res.TotalSteps)
+	reg.Counter("native.executions").Inc()
+	return nil
+}
+
+// publishSuiteMetrics records the merged suite verdicts (report.* is the
+// fifth pipeline stage: what the tool hands to developers).
+func publishSuiteMetrics(reg *obs.Registry, run *SuiteRun) {
+	if reg == nil {
+		return
+	}
+	benign, harmful := run.Merged.CountByVerdict()
+	reg.Counter("report.scenarios").Add(uint64(len(run.Scenarios)))
+	reg.Counter("report.unique_races").Add(uint64(len(run.Merged.Races)))
+	reg.Counter("report.potentially_benign").Add(uint64(benign))
+	reg.Counter("report.potentially_harmful").Add(uint64(harmful))
+	reg.Counter("report.instances").Add(uint64(run.Merged.TotalInstances()))
 }
 
 // RunSuiteSeeds analyzes every scenario under `seeds` different scheduler
@@ -53,11 +103,19 @@ func RunSuite(db *classify.DB) (*SuiteRun, error) {
 // and the more instances accumulate per race, the greater the confidence
 // in a potentially-benign verdict (§4.3).
 func RunSuiteSeeds(db *classify.DB, seeds int) (*SuiteRun, error) {
+	return RunSuiteSeedsInstrumented(db, seeds, nil)
+}
+
+// RunSuiteSeedsInstrumented is RunSuiteSeeds with the same pipeline
+// metrics and native baseline as RunSuiteInstrumented.
+func RunSuiteSeedsInstrumented(db *classify.DB, seeds int, reg *obs.Registry) (*SuiteRun, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
 	run := &SuiteRun{}
 	var parts []*classify.Classification
+	suite := reg.StartSpan("suite")
+	defer suite.End()
 	for _, base := range Scenarios() {
 		for k := 0; k < seeds; k++ {
 			s := base
@@ -66,11 +124,16 @@ func RunSuiteSeeds(db *classify.DB, seeds int) (*SuiteRun, error) {
 			if err != nil {
 				return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
 			}
-			res, err := core.Analyze(prog, s.Config(), classify.Options{
+			if reg != nil {
+				if err := runNative(prog, s.Config(), reg); err != nil {
+					return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
+				}
+			}
+			res, err := core.AnalyzeInstrumented(prog, s.Config(), classify.Options{
 				Scenario: fmt.Sprintf("%s#%d", s.Name, k),
 				Seed:     s.Seed,
 				DB:       db,
-			})
+			}, reg)
 			if err != nil {
 				return nil, fmt.Errorf("workloads: %s seed %d: %w", s.Name, s.Seed, err)
 			}
@@ -79,6 +142,7 @@ func RunSuiteSeeds(db *classify.DB, seeds int) (*SuiteRun, error) {
 		}
 	}
 	run.Merged = classify.Merge(parts...)
+	publishSuiteMetrics(reg, run)
 	return run, nil
 }
 

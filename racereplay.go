@@ -33,6 +33,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lockset"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/report"
@@ -71,6 +72,13 @@ type (
 	Scenario = workloads.Scenario
 	// SuiteRun is the analysis of the whole built-in suite.
 	SuiteRun = workloads.SuiteRun
+	// Metrics is the pipeline-wide observability registry: counters,
+	// gauges, histograms, and stage spans. Every instrumented entry point
+	// accepts a nil *Metrics and then costs nothing.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a frozen registry, renderable as text, JSON, or
+	// Prometheus exposition format.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Verdicts and Table-1 groups.
@@ -89,9 +97,20 @@ func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, sr
 // MustAssemble is Assemble that panics on error (for known-good sources).
 func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
 
+// NewMetrics returns an empty observability registry to pass to the
+// *Instrumented entry points.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
 // Record runs prog under cfg and returns the replay log.
 func Record(prog *Program, cfg Config) (*Log, error) {
 	log, _, err := core.Record(prog, cfg)
+	return log, err
+}
+
+// RecordInstrumented is Record with stage metrics published into reg
+// (nil reg behaves exactly like Record).
+func RecordInstrumented(prog *Program, cfg Config, reg *Metrics) (*Log, error) {
+	log, _, err := core.RecordInstrumented(prog, cfg, reg)
 	return log, err
 }
 
@@ -114,6 +133,14 @@ func ThreadStateAt(log *Log, tid int, idx uint64) (*replay.ThreadState, error) {
 // sequencing regions, accesses, and live-ins.
 func Replay(log *Log) (*Execution, error) { return replay.Run(log, replay.Options{}) }
 
+// ReplayInstrumented is Replay timed under a "replay" span with the
+// replay.* counters published into reg (nil reg behaves like Replay).
+func ReplayInstrumented(log *Log, reg *Metrics) (*Execution, error) {
+	sp := reg.StartSpan("replay")
+	defer sp.End()
+	return replay.Run(log, replay.Options{Metrics: reg})
+}
+
 // ReplayTo replays only the first n regions of the schedule — the
 // time-travel primitive: replaying successively shorter prefixes steps
 // the execution backwards (iDNA's reverse debugging).
@@ -122,6 +149,14 @@ func ReplayTo(log *Log, n int) (*Execution, error) { return replay.StateAt(log, 
 // DetectRaces runs the paper's happens-before detector over a replayed
 // execution. It reports no false positives with respect to the recording.
 func DetectRaces(exec *Execution) *RaceSet { return hb.Detect(exec) }
+
+// DetectRacesInstrumented is DetectRaces timed under a "detect" span
+// with the detect.* counters published into reg.
+func DetectRacesInstrumented(exec *Execution, reg *Metrics) *RaceSet {
+	sp := reg.StartSpan("detect")
+	defer sp.End()
+	return hb.DetectInstrumented(exec, reg)
+}
 
 // DetectRacesVC runs the vector-clock ablation detector (DESIGN.md A1).
 func DetectRacesVC(exec *Execution) (*RaceSet, error) { return hb.DetectVC(exec) }
@@ -155,8 +190,20 @@ func Analyze(prog *Program, cfg Config, opts Options) (*Result, error) {
 	return core.Analyze(prog, cfg, opts)
 }
 
+// AnalyzeInstrumented is Analyze with every pipeline layer publishing
+// spans and counters into reg (nil reg behaves exactly like Analyze).
+func AnalyzeInstrumented(prog *Program, cfg Config, opts Options, reg *Metrics) (*Result, error) {
+	return core.AnalyzeInstrumented(prog, cfg, opts, reg)
+}
+
 // AnalyzeLog runs the offline pipeline over an existing log.
 func AnalyzeLog(log *Log, opts Options) (*Result, error) { return core.AnalyzeLog(log, opts) }
+
+// AnalyzeLogInstrumented is AnalyzeLog with stage metrics (nil reg
+// behaves exactly like AnalyzeLog).
+func AnalyzeLogInstrumented(log *Log, opts Options, reg *Metrics) (*Result, error) {
+	return core.AnalyzeLogInstrumented(log, opts, reg)
+}
 
 // AnalyzeSource assembles src and analyzes one execution with the given
 // scheduler seed — the one-call entry point the examples use.
@@ -194,8 +241,25 @@ func Suite() []Scenario { return workloads.Scenarios() }
 // RunSuite analyzes the whole built-in suite and merges the verdicts.
 func RunSuite(db *DB) (*SuiteRun, error) { return workloads.RunSuite(db) }
 
+// RunSuiteInstrumented is RunSuite with pipeline metrics plus a native
+// (bare machine) baseline run per scenario, so the snapshot can render
+// the §5.1 overhead ladder (nil reg behaves exactly like RunSuite).
+func RunSuiteInstrumented(db *DB, reg *Metrics) (*SuiteRun, error) {
+	return workloads.RunSuiteInstrumented(db, reg)
+}
+
 // RunSuiteSeeds analyzes the suite under several scheduler seeds per
 // scenario, accumulating instances — the paper's coverage lever (§1).
 func RunSuiteSeeds(db *DB, seeds int) (*SuiteRun, error) {
 	return workloads.RunSuiteSeeds(db, seeds)
 }
+
+// RunSuiteSeedsInstrumented is RunSuiteSeeds with the same metrics and
+// native baseline as RunSuiteInstrumented.
+func RunSuiteSeedsInstrumented(db *DB, seeds int, reg *Metrics) (*SuiteRun, error) {
+	return workloads.RunSuiteSeedsInstrumented(db, seeds, reg)
+}
+
+// OverheadLadder renders the §5.1 per-stage overhead ladder from an
+// instrumented run's snapshot.
+func OverheadLadder(snap MetricsSnapshot) string { return report.OverheadLadder(snap) }
