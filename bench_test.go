@@ -11,6 +11,7 @@ package racereplay
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/classify"
@@ -483,4 +484,27 @@ func BenchmarkQuantumSensitivity(b *testing.B) {
 			b.ReportMetric(float64(instances), "instances")
 		})
 	}
+}
+
+// BenchmarkSuite measures the full suite drive at one worker versus a
+// fanned-out pool — the wall-clock case for -jobs. Recording is serial
+// in both; only the offline analysis fans out, so the gap is the
+// parallelizable fraction the paper calls out (~280x of native is
+// classification). On a single-core host the jobs>1 runs double as a
+// pool-overhead measurement: they should track jobs=1 closely.
+func BenchmarkSuite(b *testing.B) {
+	bench := func(jobs int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workloads.RunSuiteOpts(workloads.SuiteOptions{Seeds: 2, Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("jobs=1", bench(1))
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		b.Run(fmt.Sprintf("jobs=%d", n), bench(0))
+	}
+	b.Run("jobs=8", bench(8))
 }

@@ -46,6 +46,7 @@ func realMain(args []string, out io.Writer) error {
 	perfReport := fs.Bool("perf-report", false, "render the overhead ladder from an instrumented suite run (spans, not stopwatches)")
 	md := fs.Bool("md", false, "emit the tables and figures as GitHub markdown")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario (instances scale with coverage)")
+	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +60,9 @@ func realMain(args []string, out io.Writer) error {
 		// suite run — every scenario, every stage, plus a bare-machine
 		// native baseline per execution.
 		reg := racereplay.NewMetrics()
-		if _, err := racereplay.RunSuiteSeedsInstrumented(nil, *seeds, reg); err != nil {
+		if _, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
+			Seeds: *seeds, Jobs: *jobs, Registry: reg,
+		}); err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, report.OverheadLadder(reg.Snapshot()))
@@ -70,7 +73,7 @@ func realMain(args []string, out io.Writer) error {
 	needSuite := all || *table != 0 || *figure != 0 || *md
 	if needSuite {
 		var err error
-		run, err = racereplay.RunSuiteSeeds(nil, *seeds)
+		run, err = racereplay.RunSuiteOpts(racereplay.SuiteOptions{Seeds: *seeds, Jobs: *jobs})
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/hb"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/workloads"
 
 	racereplay "repro"
@@ -99,9 +100,14 @@ commands (flags come before the file argument):
   classify [-db FILE] [-race "A <-> B"] <LOG>
                                             classify races by dual-order replay
   scenario -name NAME [-db FILE]        analyze one built-in workload scenario
-  suite [-db FILE] [-seeds N]           analyze all 18 built-in scenarios
-  record-suite -dir DIR [-seeds N]      record every scenario's log to DIR
-  analyze-dir -dir DIR [-db FILE]       offline analysis over recorded logs
+  suite [-db FILE] [-seeds N] [-jobs N] analyze all 18 built-in scenarios
+  record-suite -dir DIR [-seeds N] [-jobs N]
+                                        record every scenario's log to DIR
+  analyze-dir -dir DIR [-db FILE] [-jobs N]
+                                        offline analysis over recorded logs
+
+-jobs bounds the analysis worker pool (0 = GOMAXPROCS); results are
+byte-identical at every worker count.
   profile [-addr A] [-iterations N]     run the suite under a live metrics +
                                         pprof HTTP server
   mark-benign -db FILE -race "A <-> B"  record a developer benign verdict
@@ -384,6 +390,7 @@ func cmdSuite(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	verbose := fs.Bool("v", false, "print a report for every race")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
@@ -391,7 +398,9 @@ func cmdSuite(args []string) error {
 		return err
 	}
 	reg := metrics.registry()
-	run, err := racereplay.RunSuiteSeedsInstrumented(db, *seeds, reg)
+	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
+		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -434,15 +443,25 @@ func cmdRecordSuite(args []string) error {
 	fs := flag.NewFlagSet("record-suite", flag.ExitOnError)
 	dir := fs.String("dir", "logs", "output directory")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
+	jobs := fs.Int("jobs", 0, "recording workers (0 = GOMAXPROCS); output is identical at any count")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
 	reg := metrics.registry()
-	var totalInstr uint64
-	var totalBytes int
-	count := 0
+
+	// Every (scenario, seed) recording is an independent deterministic
+	// machine run, so unlike the live suite the online half can fan out
+	// too. Logs land in index-addressed slots and are written, summed,
+	// and (for metrics) adopted in index order, keeping the output
+	// identical at any worker count.
+	type recJob struct {
+		s    racereplay.Scenario
+		k    int
+		prog *racereplay.Program
+	}
+	var work []recJob
 	for _, base := range workloads.Scenarios() {
 		for k := 0; k < *seeds; k++ {
 			s := base
@@ -451,28 +470,47 @@ func cmdRecordSuite(args []string) error {
 			if err != nil {
 				return err
 			}
-			log, err := racereplay.RecordInstrumented(prog, s.Config(), reg)
-			if err != nil {
-				return err
-			}
-			path := filepath.Join(*dir, fmt.Sprintf("%s-%d.rlog", s.Name, k))
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			if err := racereplay.WriteLog(f, log); err != nil {
-				f.Close()
-				return err
-			}
-			f.Close()
-			st := racereplay.LogStats(log)
-			totalInstr += st.Instructions
-			totalBytes += st.CompressedBytes
-			count++
+			work = append(work, recJob{s: s, k: k, prog: prog})
 		}
 	}
+	logs := make([]*racereplay.Log, len(work))
+	errs := make([]error, len(work))
+	forks := make([]*racereplay.Metrics, len(work))
+	pool := sched.NewPool(*jobs, reg)
+	for i := range work {
+		i := i
+		forks[i] = reg.Fork()
+		pool.Submit(func() {
+			logs[i], errs[i] = racereplay.RecordInstrumented(work[i].prog, work[i].s.Config(), forks[i])
+		})
+	}
+	pool.Wait()
+	for i, f := range forks {
+		reg.Adopt(f)
+		if errs[i] != nil {
+			return fmt.Errorf("%s seed %d: %w", work[i].s.Name, work[i].s.Seed, errs[i])
+		}
+	}
+
+	var totalInstr uint64
+	var totalBytes int
+	for i, log := range logs {
+		path := filepath.Join(*dir, fmt.Sprintf("%s-%d.rlog", work[i].s.Name, work[i].k))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := racereplay.WriteLog(f, log); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		st := racereplay.LogStats(log)
+		totalInstr += st.Instructions
+		totalBytes += st.CompressedBytes
+	}
 	fmt.Fprintf(stdout, "recorded %d executions: %d instructions, %d bytes of compressed logs -> %s\n",
-		count, totalInstr, totalBytes, *dir)
+		len(logs), totalInstr, totalBytes, *dir)
 	return metrics.emit(reg)
 }
 
@@ -482,6 +520,7 @@ func cmdAnalyzeDir(args []string) error {
 	fs := flag.NewFlagSet("analyze-dir", flag.ExitOnError)
 	dir := fs.String("dir", "logs", "directory of .rlog files")
 	dbPath := fs.String("db", "", "race database for suppression")
+	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
@@ -497,19 +536,21 @@ func cmdAnalyzeDir(args []string) error {
 		return fmt.Errorf("no .rlog files in %s", *dir)
 	}
 	sort.Strings(entries)
-	var parts []*racereplay.Classification
-	for _, path := range entries {
-		log, err := loadLog(path)
-		if err != nil {
+	logs := make([]*racereplay.Log, len(entries))
+	for i, path := range entries {
+		if logs[i], err = loadLog(path); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		res, err := racereplay.AnalyzeLogInstrumented(log, racereplay.Options{
-			Scenario: filepath.Base(path), Seed: log.Seed, DB: db,
-		}, reg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		parts = append(parts, res.Classification)
+	}
+	results, err := racereplay.AnalyzeLogsInstrumented(logs, func(i int) racereplay.Options {
+		return racereplay.Options{Scenario: filepath.Base(entries[i]), Seed: logs[i].Seed, DB: db}
+	}, *jobs, reg)
+	if err != nil {
+		return err
+	}
+	parts := make([]*racereplay.Classification, len(results))
+	for i, res := range results {
+		parts[i] = res.Classification
 	}
 	merged := racereplay.MergeClassifications(parts...)
 	fmt.Fprintf(stdout, "analyzed %d recorded executions\n", len(entries))

@@ -349,3 +349,34 @@ func TestCmdDetectLocksetTriage(t *testing.T) {
 		t.Errorf("triage section missing:\n%s", out)
 	}
 }
+
+// TestCmdSuiteParallelOutputIsByteIdentical drives the full CLI path:
+// the rendered suite report must not change with the worker count.
+func TestCmdSuiteParallelOutputIsByteIdentical(t *testing.T) {
+	serial := capture(t, func() error { return cmdSuite([]string{"-jobs", "1", "-seeds", "2", "-v"}) })
+	parallel := capture(t, func() error { return cmdSuite([]string{"-jobs", "8", "-seeds", "2", "-v"}) })
+	if serial != parallel {
+		t.Fatalf("suite output diverges between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestCmdRecordSuiteAndAnalyzeDirParallel round-trips the offline
+// workflow with parallel recording and parallel analysis, checking that
+// the analyze-dir report matches its serial rendering.
+func TestCmdRecordSuiteAndAnalyzeDirParallel(t *testing.T) {
+	dir := t.TempDir()
+	recOut := capture(t, func() error {
+		return cmdRecordSuite([]string{"-dir", dir, "-jobs", "8"})
+	})
+	if !strings.Contains(recOut, "recorded 18 executions") {
+		t.Fatalf("record-suite output: %s", recOut)
+	}
+	serial := capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir, "-jobs", "1"}) })
+	parallel := capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir, "-jobs", "8"}) })
+	if serial != parallel {
+		t.Fatalf("analyze-dir output diverges between -jobs 1 and -jobs 8")
+	}
+	if !strings.Contains(serial, "analyzed 18 recorded executions") {
+		t.Errorf("analyze-dir output: %s", serial[:120])
+	}
+}

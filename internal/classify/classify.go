@@ -15,14 +15,13 @@ package classify
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/hb"
 	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/sched"
 	"repro/internal/vproc"
 )
 
@@ -196,11 +195,18 @@ type Options struct {
 	// lets the virtual processor continue through reads the two regions'
 	// live-ins never captured, instead of declaring a replay failure.
 	UseOracle bool
-	// Parallel runs dual-order instance replays on this many goroutines
-	// (0 or 1 = serial). Instances are independent — each virtual
-	// processor only reads the replayed execution — so the result is
-	// bit-identical to the serial run; this is purely a wall-clock lever
-	// for the offline analysis (the paper's 280x stage).
+	// Parallel runs dual-order instance replays on this many goroutines,
+	// drained from one flattened (race, instance) work list per
+	// execution so races with few instances share the pool with the big
+	// ones. Instances are independent — each virtual processor only
+	// reads the replayed execution — so the result is bit-identical to
+	// the serial run; this is purely a wall-clock lever for the offline
+	// analysis (the paper's 280x stage).
+	//
+	// The value is normalized by sched.Normalize, the same validation
+	// the CLI -jobs flags use: anything below 1 (zero, negatives) means
+	// serial, and values above the core count are honored rather than
+	// silently clamped.
 	Parallel int
 	// Metrics, when set, receives the classify.* counters (instances by
 	// outcome, races by verdict, replay-failure causes) and is forwarded
@@ -209,7 +215,11 @@ type Options struct {
 }
 
 // Run analyzes every instance of every race in report and returns the
-// per-race classification for this single execution.
+// per-race classification for this single execution. The dual-order
+// replays of every race are flattened into one work list and drained by
+// a single pool of opts.Parallel workers; results are aggregated by
+// (race, instance) index, so the classification is bit-identical at any
+// worker count.
 func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classification {
 	if opts.MaxSamplesPerRace <= 0 {
 		opts.MaxSamplesPerRace = 4
@@ -219,16 +229,38 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 		vopts.Oracle = replay.BuildVersionedMemory(exec)
 	}
 	vopts.Metrics = opts.Metrics
-	cls := &Classification{}
-	for _, race := range report.Races {
-		rr := &RaceResult{Sites: race.Sites}
-		instances := race.Instances
-		if opts.MaxInstancesPerRace > 0 && len(instances) > opts.MaxInstancesPerRace {
-			instances = instances[:opts.MaxInstancesPerRace]
+
+	// Clip each race's instance list, then flatten every (race, instance)
+	// pair into one shared work list: races with few instances ride the
+	// same pool as the big ones instead of paying a per-race pool
+	// spin-up and getting no speedup at all.
+	instances := make([][]hb.Instance, len(report.Races))
+	results := make([][]vproc.Result, len(report.Races))
+	type workItem struct{ race, inst int }
+	var work []workItem
+	for ri, race := range report.Races {
+		insts := race.Instances
+		if opts.MaxInstancesPerRace > 0 && len(insts) > opts.MaxInstancesPerRace {
+			insts = insts[:opts.MaxInstancesPerRace]
 		}
-		results := analyzeInstances(exec, instances, vopts, opts.Parallel)
-		for i, inst := range instances {
-			res := results[i]
+		instances[ri] = insts
+		results[ri] = make([]vproc.Result, len(insts))
+		for ii := range insts {
+			work = append(work, workItem{ri, ii})
+		}
+	}
+	workers := sched.Normalize(opts.Parallel, 1)
+	sched.ForEach(workers, len(work), func(k int) {
+		w := work[k]
+		results[w.race][w.inst] = vproc.AnalyzeOpts(exec, racePair(instances[w.race][w.inst]), vopts)
+	})
+
+	cls := &Classification{}
+	for ri, race := range report.Races {
+		rr := &RaceResult{Sites: race.Sites}
+		kinds := make(map[vproc.Outcome]int)
+		for ii, inst := range instances[ri] {
+			res := results[ri][ii]
 			rr.Total++
 			switch res.Outcome {
 			case vproc.NoStateChange:
@@ -239,31 +271,26 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 				rr.RF++
 				countFailureCause(opts.Metrics, res.FailReason)
 			}
-			// Keep the first sample of each outcome kind, then fill up.
-			keep := len(rr.Samples) < opts.MaxSamplesPerRace &&
-				(len(rr.Samples) == 0 || res.Outcome != vproc.NoStateChange || rr.SC+rr.RF == 0)
-			if keep {
-				rr.Samples = append(rr.Samples, InstanceSample{
-					Scenario:     opts.Scenario,
-					Seed:         opts.Seed,
-					Outcome:      res.Outcome,
-					FailReason:   res.FailReason,
-					Diffs:        res.Diffs,
-					Addr:         inst.Addr,
-					TIDA:         inst.RegionA.TID,
-					TIDB:         inst.RegionB.TID,
-					RegionA:      inst.RegionA.Global,
-					RegionB:      inst.RegionB.Global,
-					IdxA:         inst.First.Idx,
-					IdxB:         inst.Second.Idx,
-					PCA:          inst.First.PC,
-					PCB:          inst.Second.PC,
-					OrigValA:     inst.First.Val,
-					OrigValB:     inst.Second.Val,
-					FirstIsWrite: inst.First.IsWrite,
-					SecondWrite:  inst.Second.IsWrite,
-				})
-			}
+			rr.keepSample(kinds, opts.MaxSamplesPerRace, InstanceSample{
+				Scenario:     opts.Scenario,
+				Seed:         opts.Seed,
+				Outcome:      res.Outcome,
+				FailReason:   res.FailReason,
+				Diffs:        res.Diffs,
+				Addr:         inst.Addr,
+				TIDA:         inst.RegionA.TID,
+				TIDB:         inst.RegionB.TID,
+				RegionA:      inst.RegionA.Global,
+				RegionB:      inst.RegionB.Global,
+				IdxA:         inst.First.Idx,
+				IdxB:         inst.Second.Idx,
+				PCA:          inst.First.PC,
+				PCB:          inst.Second.PC,
+				OrigValA:     inst.First.Val,
+				OrigValB:     inst.Second.Val,
+				FirstIsWrite: inst.First.IsWrite,
+				SecondWrite:  inst.Second.IsWrite,
+			})
 		}
 		rr.recompute()
 		if opts.DB != nil && opts.DB.IsMarkedBenign(rr.Sites) {
@@ -274,6 +301,33 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	sortRaces(cls.Races)
 	publishMetrics(opts.Metrics, cls)
 	return cls
+}
+
+// keepSample retains a bounded, representative sample set: while there
+// is room under max every instance is kept (which also captures the
+// first of each outcome kind), and once full an instance of an outcome
+// kind not yet represented evicts the newest sample of a kind holding
+// duplicates. kinds counts retained samples per outcome and belongs to
+// the caller's per-race aggregation loop.
+func (r *RaceResult) keepSample(kinds map[vproc.Outcome]int, max int, s InstanceSample) {
+	if len(r.Samples) < max {
+		r.Samples = append(r.Samples, s)
+		kinds[s.Outcome]++
+		return
+	}
+	if kinds[s.Outcome] > 0 {
+		return
+	}
+	for i := len(r.Samples) - 1; i >= 0; i-- {
+		k := r.Samples[i].Outcome
+		if kinds[k] > 1 {
+			kinds[k]--
+			copy(r.Samples[i:], r.Samples[i+1:])
+			r.Samples[len(r.Samples)-1] = s
+			kinds[s.Outcome]++
+			return
+		}
+	}
 }
 
 // publishMetrics flushes one execution's classification tallies (no-op
@@ -328,45 +382,15 @@ func countFailureCause(reg *obs.Registry, reason string) {
 	reg.Counter("classify.replay_failure_" + cause).Inc()
 }
 
-// analyzeInstances runs the dual-order analysis for every instance,
-// optionally fanned out over workers. Results are indexed by instance, so
-// aggregation order (and hence the outcome) is identical either way.
-func analyzeInstances(exec *replay.Execution, instances []hb.Instance, vopts vproc.Options, parallel int) []vproc.Result {
-	results := make([]vproc.Result, len(instances))
-	pairOf := func(inst hb.Instance) vproc.RacePair {
-		return vproc.RacePair{
-			RegionA: inst.RegionA, RegionB: inst.RegionB,
-			IdxA: inst.First.Idx, IdxB: inst.Second.Idx,
-			PCA: inst.First.PC, PCB: inst.Second.PC,
-			Addr: inst.Addr,
-		}
+// racePair maps a detector instance to the virtual processor's replay
+// coordinates.
+func racePair(inst hb.Instance) vproc.RacePair {
+	return vproc.RacePair{
+		RegionA: inst.RegionA, RegionB: inst.RegionB,
+		IdxA: inst.First.Idx, IdxB: inst.Second.Idx,
+		PCA: inst.First.PC, PCB: inst.Second.PC,
+		Addr: inst.Addr,
 	}
-	if parallel <= 1 || len(instances) < 2 {
-		for i, inst := range instances {
-			results[i] = vproc.AnalyzeOpts(exec, pairOf(inst), vopts)
-		}
-		return results
-	}
-	if parallel > runtime.NumCPU() {
-		parallel = runtime.NumCPU()
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = vproc.AnalyzeOpts(exec, pairOf(instances[i]), vopts)
-			}
-		}()
-	}
-	for i := range instances {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return results
 }
 
 // Merge folds other executions' classifications into dst, accumulating

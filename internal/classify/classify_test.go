@@ -442,6 +442,79 @@ func TestMergeIgnoresNilParts(t *testing.T) {
 	}
 }
 
+// TestSampleRetentionKeepsLaterKindsWithRoom is the regression test for
+// the keep condition that contradicted its own comment: once an SC/RF
+// sample existed, later No-State-Change instances were never sampled
+// even with room under MaxSamplesPerRace.
+func TestSampleRetentionKeepsLaterKindsWithRoom(t *testing.T) {
+	rr := &RaceResult{}
+	kinds := make(map[vproc.Outcome]int)
+	for _, o := range []vproc.Outcome{vproc.StateChange, vproc.NoStateChange, vproc.NoStateChange} {
+		rr.keepSample(kinds, 4, InstanceSample{Outcome: o})
+	}
+	if len(rr.Samples) != 3 {
+		t.Fatalf("retained %d samples, want 3 (room under the cap must keep filling)", len(rr.Samples))
+	}
+	nsc := 0
+	for _, s := range rr.Samples {
+		if s.Outcome == vproc.NoStateChange {
+			nsc++
+		}
+	}
+	if nsc != 2 {
+		t.Errorf("retained %d NSC samples, want 2", nsc)
+	}
+}
+
+// TestSampleRetentionEvictsDuplicateForNewKind: with the buffer full, a
+// first instance of an unrepresented outcome kind replaces a duplicate
+// of an over-represented kind, so every kind seen keeps one sample.
+func TestSampleRetentionEvictsDuplicateForNewKind(t *testing.T) {
+	rr := &RaceResult{}
+	kinds := make(map[vproc.Outcome]int)
+	for i := 0; i < 4; i++ {
+		rr.keepSample(kinds, 4, InstanceSample{Outcome: vproc.NoStateChange, IdxA: uint64(i)})
+	}
+	rr.keepSample(kinds, 4, InstanceSample{Outcome: vproc.StateChange})
+	rr.keepSample(kinds, 4, InstanceSample{Outcome: vproc.ReplayFailure})
+	if len(rr.Samples) != 4 {
+		t.Fatalf("retained %d samples, want the cap of 4", len(rr.Samples))
+	}
+	got := map[vproc.Outcome]int{}
+	for _, s := range rr.Samples {
+		got[s.Outcome]++
+	}
+	if got[vproc.NoStateChange] != 2 || got[vproc.StateChange] != 1 || got[vproc.ReplayFailure] != 1 {
+		t.Errorf("retained kinds = %v, want 2 NSC + 1 SC + 1 RF", got)
+	}
+	// Another duplicate of a represented kind is dropped once full.
+	rr.keepSample(kinds, 4, InstanceSample{Outcome: vproc.StateChange, IdxA: 99})
+	for _, s := range rr.Samples {
+		if s.IdxA == 99 {
+			t.Error("duplicate of a represented kind displaced a sample")
+		}
+	}
+}
+
+// TestNegativeParallelRunsSerially: Options.Parallel below zero is
+// normalized (via sched.Normalize) instead of spinning up a bogus pool,
+// and the result matches the serial classification.
+func TestNegativeParallelRunsSerially(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		serial := classifySrc(t, redundantWriters, seed, Options{})
+		neg := classifySrc(t, redundantWriters, seed, Options{Parallel: -7})
+		if len(serial.Races) != len(neg.Races) {
+			t.Fatalf("seed %d: race counts differ", seed)
+		}
+		for i := range serial.Races {
+			a, b := serial.Races[i], neg.Races[i]
+			if a.Sites != b.Sites || a.NSC != b.NSC || a.SC != b.SC || a.RF != b.RF {
+				t.Fatalf("seed %d: race %v differs under negative Parallel", seed, a.Sites)
+			}
+		}
+	}
+}
+
 // TestParallelClassificationIsIdentical: the parallel path must be
 // bit-identical to serial (instances are independent and results are
 // aggregated by index).

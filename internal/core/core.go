@@ -9,6 +9,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/classify"
 	"repro/internal/hb"
 	"repro/internal/isa"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/replay"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -78,6 +81,56 @@ func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Regi
 		Races:          races,
 		Classification: cls,
 	}, nil
+}
+
+// AnalyzeLogs runs the offline half over a batch of logs, fanning the
+// per-log work across jobs workers (jobs < 1 means GOMAXPROCS). optsFor
+// supplies the classify options for the i-th log. Results come back in
+// input order and are identical to analyzing each log serially; on
+// failure the error for the lowest-indexed failing log is returned,
+// labeled with that log's Options.Scenario when set.
+func AnalyzeLogs(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int) ([]*Result, error) {
+	return AnalyzeLogsInstrumented(logs, optsFor, jobs, nil)
+}
+
+// AnalyzeLogsInstrumented is AnalyzeLogs with stage metrics. Each worker
+// publishes spans through a fork of reg; forks are adopted in input
+// order after the batch drains, so the merged replay/detect/classify
+// ladder is identical at every worker count. The pool additionally
+// publishes its sched.* metrics into reg. A nil reg is exactly
+// AnalyzeLogs.
+func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int, reg *obs.Registry) ([]*Result, error) {
+	results := make([]*Result, len(logs))
+	errs := make([]error, len(logs))
+	jobs = sched.Normalize(jobs, sched.DefaultJobs())
+	if jobs <= 1 || len(logs) < 2 {
+		for i, log := range logs {
+			results[i], errs[i] = AnalyzeLogInstrumented(log, optsFor(i), reg)
+		}
+	} else {
+		forks := make([]*obs.Registry, len(logs))
+		pool := sched.NewPool(jobs, reg)
+		for i := range logs {
+			i := i
+			forks[i] = reg.Fork()
+			pool.Submit(func() {
+				results[i], errs[i] = AnalyzeLogInstrumented(logs[i], optsFor(i), forks[i])
+			})
+		}
+		pool.Wait()
+		for _, f := range forks {
+			reg.Adopt(f)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			if scenario := optsFor(i).Scenario; scenario != "" {
+				return nil, fmt.Errorf("%s: %w", scenario, err)
+			}
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Analyze is the whole pipeline: record prog, then analyze the log.

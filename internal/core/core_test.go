@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"reflect"
+	"strings"
+
 	"testing"
 
 	"repro/internal/asm"
@@ -110,5 +114,80 @@ func TestAnalyzeRejectsBadProgram(t *testing.T) {
 	prog.Entry = 99 // corrupt after assembly
 	if _, err := Analyze(prog, machine.Config{Seed: 1}, classify.Options{}); err == nil {
 		t.Error("corrupt program accepted")
+	}
+}
+
+// TestAnalyzeLogsMatchesSerial: the batch API returns, for every log,
+// exactly what AnalyzeLog returns, in input order, at any worker count.
+func TestAnalyzeLogsMatchesSerial(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []*trace.Log
+	for seed := int64(1); seed <= 6; seed++ {
+		log, _, err := Record(prog, machine.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, log)
+	}
+	optsFor := func(i int) classify.Options {
+		return classify.Options{Scenario: "core", Seed: int64(i + 1)}
+	}
+	want := make([]*Result, len(logs))
+	for i, log := range logs {
+		if want[i], err = AnalyzeLog(log, optsFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, jobs := range []int{1, 4, 16} {
+		got, err := AnalyzeLogs(logs, optsFor, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("jobs=%d: %d results, want %d", jobs, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Classification, want[i].Classification) {
+				t.Errorf("jobs=%d: log %d classification differs from serial", jobs, i)
+			}
+			if len(got[i].Races.Races) != len(want[i].Races.Races) {
+				t.Errorf("jobs=%d: log %d race count differs", jobs, i)
+			}
+		}
+	}
+}
+
+// TestAnalyzeLogsReportsFirstErrorByIndex: a corrupt log mid-batch
+// surfaces as the lowest-indexed failure, labeled with its scenario.
+func TestAnalyzeLogsReportsFirstErrorByIndex(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _, err := Record(prog, machine.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a copy of the log: stripping the logged load values makes
+	// every shared-memory read unresolvable, which replay must reject.
+	bad := *good
+	bad.Threads = make([]*trace.ThreadLog, len(good.Threads))
+	for i, tl := range good.Threads {
+		cp := *tl
+		cp.Loads = nil
+		bad.Threads[i] = &cp
+	}
+	logs := []*trace.Log{good, &bad, &bad}
+	_, err = AnalyzeLogs(logs, func(i int) classify.Options {
+		return classify.Options{Scenario: fmt.Sprintf("log%d", i)}
+	}, 4)
+	if err == nil {
+		t.Fatal("corrupt log did not fail the batch")
+	}
+	if !strings.Contains(err.Error(), "log1") {
+		t.Errorf("error %q not labeled with the first failing log's scenario", err)
 	}
 }

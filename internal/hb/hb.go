@@ -100,12 +100,12 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, r
 	// Index data accesses by address. Atomic (lock-prefixed) accesses are
 	// synchronization, not data: skip them here.
 	byAddr := make(map[uint64][]accessRef)
-	for _, reg := range exec.Regions {
-		for _, acc := range reg.Accesses {
+	for _, region := range exec.Regions {
+		for _, acc := range region.Accesses {
 			if acc.Atomic {
 				continue
 			}
-			byAddr[acc.Addr] = append(byAddr[acc.Addr], accessRef{acc: acc, reg: reg})
+			byAddr[acc.Addr] = append(byAddr[acc.Addr], accessRef{acc: acc, reg: region})
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -445,5 +446,60 @@ wloop:
 		if a.Races[i].Sites != b.Races[i].Sites {
 			t.Fatalf("race %d sites differ", i)
 		}
+	}
+}
+
+// TestDetectInstrumentedPublishesCounters pins the detect.* counter
+// contract: an instrumented run on a racy program must publish every
+// stage counter with values consistent with the report. (Guards the
+// registry parameter against being shadowed inside the detector.)
+func TestDetectInstrumentedPublishesCounters(t *testing.T) {
+	src := `
+.entry main
+.word n 0
+worker:
+  ldi r4, n
+  ld r5, [r4+0]
+  addi r5, r5, 1
+  st [r4+0], r5
+  ldi r1, 0
+  sys exit
+` + twoWorkers
+	prog, err := asm.Assemble("hb", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := record.Run(prog, machine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := replay.Run(log, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep := DetectInstrumented(exec, reg)
+	snap := reg.Snapshot()
+	if got := snap.Counters["detect.executions"]; got != 1 {
+		t.Errorf("detect.executions = %d, want 1", got)
+	}
+	if got := snap.Counters["detect.races"]; got != uint64(len(rep.Races)) {
+		t.Errorf("detect.races = %d, want %d", got, len(rep.Races))
+	}
+	if got := snap.Counters["detect.instances"]; got != uint64(rep.TotalInstances) {
+		t.Errorf("detect.instances = %d, want %d", got, rep.TotalInstances)
+	}
+	if snap.Counters["detect.addresses_indexed"] == 0 {
+		t.Error("detect.addresses_indexed not published")
+	}
+	if snap.Counters["detect.region_pairs_examined"] == 0 {
+		t.Error("detect.region_pairs_examined not published")
+	}
+	// The same counters accumulate across the VC ablation.
+	if _, err := DetectVCInstrumented(exec, reg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["detect.executions"]; got != 2 {
+		t.Errorf("detect.executions after VC pass = %d, want 2", got)
 	}
 }

@@ -18,7 +18,11 @@
 // Counters, gauges, and histograms are goroutine-safe. Spans are not:
 // they model the pipeline's sequential stage structure (record → replay
 // → detect → classify → report) and must be started and ended from one
-// goroutine at a time.
+// goroutine at a time. Concurrent stages — the suite's parallel offline
+// analysis — get span safety through Fork/Adopt: each worker publishes
+// spans into a private Fork of the registry (counters, gauges, and
+// histograms still resolve to the shared namespace), and the driver
+// folds the worker trees back into the main ladder with Adopt.
 package obs
 
 import (
@@ -121,6 +125,22 @@ type Registry struct {
 
 	root *Span // anonymous holder of the top-level spans
 	cur  *Span // innermost active span (nil = at root)
+
+	// parent is set on worker views created by Fork: counters, gauges,
+	// and histograms delegate to the base registry (they are already
+	// goroutine-safe), while the span tree stays private to the fork
+	// until Adopt folds it into the base ladder.
+	parent *Registry
+}
+
+// base resolves the registry the metric namespace lives in: the
+// receiver itself, or the registry a Fork was taken from.
+func (r *Registry) base() *Registry {
+	b := r
+	for b.parent != nil {
+		b = b.parent
+	}
+	return b
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -141,6 +161,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r = r.base()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
@@ -156,6 +177,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r = r.base()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.gauges[name]
@@ -171,6 +193,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r = r.base()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]

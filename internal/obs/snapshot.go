@@ -45,7 +45,8 @@ type SpanSnapshot struct {
 func (s SpanSnapshot) Duration() time.Duration { return time.Duration(s.Nanos) }
 
 // Snapshot freezes the registry. A nil registry yields an empty (but
-// renderable) snapshot.
+// renderable) snapshot. Snapshotting a Fork reads the shared metric
+// namespace plus the fork's private span tree.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   map[string]uint64{},
@@ -55,18 +56,21 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for name, c := range r.counters {
+	base := r.base()
+	base.mu.Lock()
+	for name, c := range base.counters {
 		snap.Counters[name] = c.Value()
 	}
-	for name, g := range r.gauges {
+	for name, g := range base.gauges {
 		snap.Gauges[name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for name, h := range base.hists {
 		snap.Histograms[name] = h.snapshot()
 	}
+	base.mu.Unlock()
+	r.mu.Lock()
 	snap.Spans = snapshotSpans(r.root)
+	r.mu.Unlock()
 	return snap
 }
 

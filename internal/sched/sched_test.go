@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ n, def, want int }{
+		{1, 4, 1},
+		{8, 4, 8},
+		{0, 4, 4},
+		{-3, 4, 4},
+		{0, 0, 1},
+		{-1, -5, 1},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.n, c.def); got != c.want {
+			t.Errorf("Normalize(%d, %d) = %d, want %d", c.n, c.def, got, c.want)
+		}
+	}
+}
+
+func TestDefaultJobsIsGOMAXPROCS(t *testing.T) {
+	if DefaultJobs() != runtime.GOMAXPROCS(0) {
+		t.Errorf("DefaultJobs = %d, want %d", DefaultJobs(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestPoolRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 200
+		var ran [n]atomic.Int32
+		p := NewPool(workers, nil)
+		for i := 0; i < n; i++ {
+			i := i
+			p.Submit(func() { ran[i].Add(1) })
+		}
+		p.Wait()
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolPublishesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, reg)
+	const n = 10
+	for i := 0; i < n; i++ {
+		p.Submit(func() {})
+	}
+	p.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Counters["sched.tasks_submitted"]; got != n {
+		t.Errorf("tasks_submitted = %d, want %d", got, n)
+	}
+	if got := snap.Counters["sched.tasks_completed"]; got != n {
+		t.Errorf("tasks_completed = %d, want %d", got, n)
+	}
+	if got := snap.Gauges["sched.workers"]; got != 2 {
+		t.Errorf("workers gauge = %v, want 2", got)
+	}
+	if got := snap.Gauges["sched.queue_depth"]; got != 0 {
+		t.Errorf("final queue_depth = %v, want 0", got)
+	}
+	if snap.Gauges["sched.queue_peak"] < 1 {
+		t.Errorf("queue_peak = %v, want >= 1", snap.Gauges["sched.queue_peak"])
+	}
+	if got := snap.Histograms["sched.task_latency_ns"].Count; got != n {
+		t.Errorf("task_latency_ns count = %d, want %d", got, n)
+	}
+	util := snap.Gauges["sched.worker_utilization"]
+	if util < 0 || util > 1 {
+		t.Errorf("worker_utilization = %v, want within [0, 1]", util)
+	}
+}
+
+// TestPoolConcurrencyUnderRace exercises the pool with shared-counter
+// tasks; run under -race this is the scheduler's data-race check.
+func TestPoolConcurrencyUnderRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(8, reg)
+	var total atomic.Int64
+	for i := 0; i < 500; i++ {
+		i := i
+		p.Submit(func() {
+			total.Add(int64(i))
+			reg.Counter("test.bumps").Inc()
+		})
+	}
+	p.Wait()
+	want := int64(500 * 499 / 2)
+	if total.Load() != want {
+		t.Errorf("total = %d, want %d", total.Load(), want)
+	}
+	if got := reg.Snapshot().Counters["test.bumps"]; got != 500 {
+		t.Errorf("bumps = %d, want 500", got)
+	}
+}
+
+func TestPoolSubmitAfterWaitPanics(t *testing.T) {
+	p := NewPool(1, nil)
+	p.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Wait did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestForEachCoversRangeAtAnyWidth(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+	// Empty and single-element ranges.
+	ForEach(4, 0, func(i int) { t.Error("called on empty range") })
+	ran := 0
+	ForEach(4, 1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Errorf("n=1 ran %d times", ran)
+	}
+}

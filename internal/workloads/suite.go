@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ScenarioRun pairs a scenario with its full analysis.
@@ -22,12 +23,30 @@ type SuiteRun struct {
 	Merged    *classify.Classification
 }
 
+// SuiteOptions configures a suite analysis.
+type SuiteOptions struct {
+	// DB, when non-nil, suppresses races a developer already marked
+	// benign.
+	DB *classify.DB
+	// Seeds is the number of scheduler seeds per scenario (the base
+	// seed plus fixed offsets); values below 1 mean 1.
+	Seeds int
+	// Jobs bounds the worker pool for the offline half (replay, detect,
+	// classify). Values below 1 mean GOMAXPROCS; 1 runs serially. The
+	// merged output is byte-identical at every worker count.
+	Jobs int
+	// Registry, when non-nil, receives pipeline metrics: the merged
+	// "suite/native|record|replay|detect|classify" span ladder, every
+	// stage's counters, and the pool's sched.* metrics.
+	Registry *obs.Registry
+}
+
 // RunSuite records, replays, detects, and classifies every scenario, then
 // merges the per-execution classifications into the cross-execution
 // per-race verdicts of §5.2.1. db, when non-nil, suppresses races a
 // developer already marked benign.
 func RunSuite(db *classify.DB) (*SuiteRun, error) {
-	return RunSuiteInstrumented(db, nil)
+	return RunSuiteOpts(SuiteOptions{DB: db})
 }
 
 // RunSuiteInstrumented is RunSuite with pipeline metrics: every
@@ -36,30 +55,82 @@ func RunSuite(db *classify.DB) (*SuiteRun, error) {
 // machine (no observer) under a "native" span — the §5.1 baseline the
 // overhead ladder is measured against. A nil reg is exactly RunSuite.
 func RunSuiteInstrumented(db *classify.DB, reg *obs.Registry) (*SuiteRun, error) {
-	run := &SuiteRun{}
-	var parts []*classify.Classification
+	return RunSuiteOpts(SuiteOptions{DB: db, Registry: reg})
+}
+
+// RunSuiteOpts is the suite driver every other entry point delegates
+// to. Recording is the online half of the pipeline and stays serial —
+// the paper's premise is that the production run only pays for logging —
+// while the offline analysis of every scenario × seed fans out across
+// opts.Jobs workers with deterministic, input-order merging: the report,
+// the merged classification, and the stage counters are identical at
+// every worker count.
+func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
+	seeds := opts.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	reg := opts.Registry
 	suite := reg.StartSpan("suite")
 	defer suite.End()
-	for _, s := range Scenarios() {
-		prog, err := s.Program()
-		if err != nil {
-			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
-		}
-		if reg != nil {
-			if err := runNative(prog, s.Config(), reg); err != nil {
-				return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
+
+	// Online half: record every scenario × seed serially, keeping the
+	// native baseline next to each recording as before.
+	type recording struct {
+		scenario Scenario
+		label    string
+		log      *trace.Log
+		machine  *machine.Result
+	}
+	var recs []recording
+	for _, base := range Scenarios() {
+		for k := 0; k < seeds; k++ {
+			s := base
+			s.Seed = base.Seed + int64(7777*k)
+			label := s.Name
+			if seeds > 1 {
+				label = fmt.Sprintf("%s#%d", s.Name, k)
 			}
+			prog, err := s.Program()
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+			}
+			if reg != nil {
+				if err := runNative(prog, s.Config(), reg); err != nil {
+					return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
+				}
+			}
+			log, mres, err := core.RecordInstrumented(prog, s.Config(), reg)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s seed %d: %w", s.Name, s.Seed, err)
+			}
+			recs = append(recs, recording{scenario: s, label: label, log: log, machine: mres})
 		}
-		res, err := core.AnalyzeInstrumented(prog, s.Config(), classify.Options{
-			Scenario: s.Name,
-			Seed:     s.Seed,
-			DB:       db,
-		}, reg)
-		if err != nil {
-			return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+	}
+
+	// Offline half: replay, detect, and classify every log across the
+	// shared pool; results land in input order.
+	logs := make([]*trace.Log, len(recs))
+	for i := range recs {
+		logs[i] = recs[i].log
+	}
+	results, err := core.AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
+		return classify.Options{
+			Scenario: recs[i].label,
+			Seed:     recs[i].scenario.Seed,
+			DB:       opts.DB,
 		}
-		run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: s, Result: res})
-		parts = append(parts, res.Classification)
+	}, opts.Jobs, reg)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
+	}
+
+	run := &SuiteRun{}
+	parts := make([]*classify.Classification, len(results))
+	for i, res := range results {
+		res.Machine = recs[i].machine
+		run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: recs[i].scenario, Result: res})
+		parts[i] = res.Classification
 	}
 	run.Merged = classify.Merge(parts...)
 	publishSuiteMetrics(reg, run)
@@ -103,47 +174,13 @@ func publishSuiteMetrics(reg *obs.Registry, run *SuiteRun) {
 // and the more instances accumulate per race, the greater the confidence
 // in a potentially-benign verdict (§4.3).
 func RunSuiteSeeds(db *classify.DB, seeds int) (*SuiteRun, error) {
-	return RunSuiteSeedsInstrumented(db, seeds, nil)
+	return RunSuiteOpts(SuiteOptions{DB: db, Seeds: seeds})
 }
 
 // RunSuiteSeedsInstrumented is RunSuiteSeeds with the same pipeline
 // metrics and native baseline as RunSuiteInstrumented.
 func RunSuiteSeedsInstrumented(db *classify.DB, seeds int, reg *obs.Registry) (*SuiteRun, error) {
-	if seeds < 1 {
-		seeds = 1
-	}
-	run := &SuiteRun{}
-	var parts []*classify.Classification
-	suite := reg.StartSpan("suite")
-	defer suite.End()
-	for _, base := range Scenarios() {
-		for k := 0; k < seeds; k++ {
-			s := base
-			s.Seed = base.Seed + int64(7777*k)
-			prog, err := s.Program()
-			if err != nil {
-				return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
-			}
-			if reg != nil {
-				if err := runNative(prog, s.Config(), reg); err != nil {
-					return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
-				}
-			}
-			res, err := core.AnalyzeInstrumented(prog, s.Config(), classify.Options{
-				Scenario: fmt.Sprintf("%s#%d", s.Name, k),
-				Seed:     s.Seed,
-				DB:       db,
-			}, reg)
-			if err != nil {
-				return nil, fmt.Errorf("workloads: %s seed %d: %w", s.Name, s.Seed, err)
-			}
-			run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: s, Result: res})
-			parts = append(parts, res.Classification)
-		}
-	}
-	run.Merged = classify.Merge(parts...)
-	publishSuiteMetrics(reg, run)
-	return run, nil
+	return RunSuiteOpts(SuiteOptions{DB: db, Seeds: seeds, Registry: reg})
 }
 
 // FindScenario returns the scenario with the given name, or an error.

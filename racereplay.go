@@ -72,6 +72,9 @@ type (
 	Scenario = workloads.Scenario
 	// SuiteRun is the analysis of the whole built-in suite.
 	SuiteRun = workloads.SuiteRun
+	// SuiteOptions configures a suite analysis: race database, seeds per
+	// scenario, analysis worker count, and metrics registry.
+	SuiteOptions = workloads.SuiteOptions
 	// Metrics is the pipeline-wide observability registry: counters,
 	// gauges, histograms, and stage spans. Every instrumented entry point
 	// accepts a nil *Metrics and then costs nothing.
@@ -205,6 +208,23 @@ func AnalyzeLogInstrumented(log *Log, opts Options, reg *Metrics) (*Result, erro
 	return core.AnalyzeLogInstrumented(log, opts, reg)
 }
 
+// AnalyzeLogs runs the offline pipeline over a batch of logs, fanning
+// the work across jobs workers (jobs < 1 means GOMAXPROCS). optsFor
+// supplies the i-th log's options; results come back in input order and
+// are identical to calling AnalyzeLog on each log serially.
+func AnalyzeLogs(logs []*Log, optsFor func(i int) Options, jobs int) ([]*Result, error) {
+	return core.AnalyzeLogs(logs, optsFor, jobs)
+}
+
+// AnalyzeLogsInstrumented is AnalyzeLogs with stage metrics: worker
+// span trees are folded into reg in input order, so the merged ladder —
+// like the results — is byte-identical at every worker count. The pool
+// also publishes its sched.* metrics. A nil reg behaves exactly like
+// AnalyzeLogs.
+func AnalyzeLogsInstrumented(logs []*Log, optsFor func(i int) Options, jobs int, reg *Metrics) ([]*Result, error) {
+	return core.AnalyzeLogsInstrumented(logs, optsFor, jobs, reg)
+}
+
 // AnalyzeSource assembles src and analyzes one execution with the given
 // scheduler seed — the one-call entry point the examples use.
 func AnalyzeSource(name, src string, seed int64) (*Result, error) {
@@ -258,6 +278,14 @@ func RunSuiteSeeds(db *DB, seeds int) (*SuiteRun, error) {
 // native baseline as RunSuiteInstrumented.
 func RunSuiteSeedsInstrumented(db *DB, seeds int, reg *Metrics) (*SuiteRun, error) {
 	return workloads.RunSuiteSeedsInstrumented(db, seeds, reg)
+}
+
+// RunSuiteOpts is the configurable suite driver: recording stays serial
+// (the online half), while the offline analysis of every scenario × seed
+// fans out across opts.Jobs workers with output identical to the serial
+// run. RunSuite and friends are shorthands for common option sets.
+func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
+	return workloads.RunSuiteOpts(opts)
 }
 
 // OverheadLadder renders the §5.1 per-stage overhead ladder from an
