@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/classify"
 	"repro/internal/debug"
 	"repro/internal/hb"
@@ -38,6 +40,21 @@ import (
 
 // stdout is the command output sink, replaceable in tests.
 var stdout io.Writer = os.Stdout
+
+// exitCode is the status for a command that completed without a hard
+// error. The contract (see usage): 0 clean, 1 the analysis reported
+// potentially harmful races, 2 corrupt or invalid input (a failed
+// validation, or quarantined files in a batch). Hard errors — bad
+// flags, unreadable inputs, internal failures — always exit 2.
+var exitCode int
+
+// raiseExit widens the exit status; codes only escalate, so invalid
+// input (2) wins over findings (1) wins over clean (0).
+func raiseExit(code int) {
+	if code > exitCode {
+		exitCode = code
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -65,6 +82,10 @@ func main() {
 		err = cmdRecordSuite(args)
 	case "analyze-dir":
 		err = cmdAnalyzeDir(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "mark-benign":
@@ -84,8 +105,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racer:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
+	os.Exit(exitCode)
 }
 
 func usage() {
@@ -105,9 +127,19 @@ commands (flags come before the file argument):
                                         record every scenario's log to DIR
   analyze-dir -dir DIR [-db FILE] [-jobs N]
                                         offline analysis over recorded logs
+  validate <LOG...>                     decode + check logs without analyzing
+  chaos [-corruptions N] [-seed S] [-log FILE]
+                                        fuzz the decoder with N corrupted log
+                                        variants; fails on any panic or
+                                        unbounded allocation
 
 -jobs bounds the analysis worker pool (0 = GOMAXPROCS); results are
 byte-identical at every worker count.
+
+exit codes: 0 clean; 1 the analysis reported potentially harmful races;
+2 corrupt or invalid input (failed validation, quarantined log files) or
+any hard error. Corrupt logs in a batch are quarantined — listed in the
+report's quarantine section — and the analysis completes over the rest.
   profile [-addr A] [-iterations N]     run the suite under a live metrics +
                                         pprof HTTP server
   mark-benign -db FILE -race "A <-> B"  record a developer benign verdict
@@ -414,12 +446,30 @@ func cmdSuite(args []string) error {
 			fmt.Fprint(stdout, report.RaceReport(r, report.SuiteTruth))
 		}
 	}
+	printQuarantine(run.Quarantined)
+	if _, harmful := run.Merged.CountByVerdict(); harmful > 0 {
+		raiseExit(1)
+	}
 	sp.End()
 	return metrics.emit(reg)
 }
 
+// printQuarantine renders the quarantine section (if any) and raises
+// the exit status to 2: the analysis completed, but over degraded input.
+func printQuarantine(items []racereplay.Quarantined) {
+	if len(items) == 0 {
+		return
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.QuarantineSection(items))
+	raiseExit(2)
+}
+
 func printClassification(c *racereplay.Classification, filter string) {
 	benign, harmful := c.CountByVerdict()
+	if harmful > 0 {
+		raiseExit(1)
+	}
 	fmt.Fprintf(stdout, "%d races: %d potentially benign, %d potentially harmful (%d instances analyzed)\n",
 		len(c.Races), benign, harmful, c.TotalInstances())
 	for _, r := range c.Races {
@@ -536,28 +586,128 @@ func cmdAnalyzeDir(args []string) error {
 		return fmt.Errorf("no .rlog files in %s", *dir)
 	}
 	sort.Strings(entries)
-	logs := make([]*racereplay.Log, len(entries))
+	// Corrupt or unreadable logs quarantine instead of aborting the
+	// batch: the analysis completes over the healthy files and the
+	// report lists every excluded one with its typed error (exit 2).
+	var logs []*racereplay.Log
+	var labels []string
+	var quarantined []racereplay.Quarantined
 	for i, path := range entries {
-		if logs[i], err = loadLog(path); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		log, err := loadLog(path)
+		if err == nil {
+			err = racereplay.ValidateLog(log)
+		}
+		if err != nil {
+			quarantined = append(quarantined, racereplay.Quarantined{
+				Index: i, Label: filepath.Base(path), Err: err,
+			})
+			reg.Counter("robust.quarantined").Inc()
+			continue
+		}
+		logs = append(logs, log)
+		labels = append(labels, filepath.Base(path))
+	}
+	results, analysisQuarantined := racereplay.AnalyzeLogsInstrumented(logs, func(i int) racereplay.Options {
+		return racereplay.Options{Scenario: labels[i], Seed: logs[i].Seed, DB: db}
+	}, *jobs, reg)
+	quarantined = append(quarantined, analysisQuarantined...)
+	var parts []*racereplay.Classification
+	for _, res := range results {
+		if res != nil {
+			parts = append(parts, res.Classification)
 		}
 	}
-	results, err := racereplay.AnalyzeLogsInstrumented(logs, func(i int) racereplay.Options {
-		return racereplay.Options{Scenario: filepath.Base(entries[i]), Seed: logs[i].Seed, DB: db}
-	}, *jobs, reg)
-	if err != nil {
-		return err
-	}
-	parts := make([]*racereplay.Classification, len(results))
-	for i, res := range results {
-		parts[i] = res.Classification
-	}
 	merged := racereplay.MergeClassifications(parts...)
-	fmt.Fprintf(stdout, "analyzed %d recorded executions\n", len(entries))
+	fmt.Fprintf(stdout, "analyzed %d recorded executions\n", len(parts))
 	fmt.Fprint(stdout, report.Summary(merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(merged, report.SuiteTruth).Render())
+	printQuarantine(quarantined)
+	if _, harmful := merged.CountByVerdict(); harmful > 0 {
+		raiseExit(1)
+	}
 	return metrics.emit(reg)
+}
+
+// cmdValidate decodes and structurally checks logs without analyzing
+// them — the cheap pre-flight for a directory of recordings. Invalid
+// files are reported per-file and raise the exit status to 2; the
+// command itself only errors when given no files.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("validate wants one or more log files")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		log, err := loadLog(path)
+		if err == nil {
+			err = racereplay.ValidateLog(log)
+		}
+		if err != nil {
+			bad++
+			fmt.Fprintf(stdout, "%s: INVALID: %v\n", path, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok (%d instructions, %d threads)\n",
+			path, log.Instructions(), len(log.Threads))
+	}
+	if bad > 0 {
+		fmt.Fprintf(stdout, "%d of %d logs invalid\n", bad, fs.NArg())
+		raiseExit(2)
+	}
+	return nil
+}
+
+// cmdChaos fuzzes the decode path with deterministically corrupted log
+// variants and enforces the robustness contract: every corruption must
+// produce a structured error or a degraded-but-labeled result — never a
+// panic, never an unbounded allocation.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	n := fs.Int("corruptions", 200, "number of corrupted log variants to decode")
+	seed := fs.Int64("seed", 1, "corruption seed; equal seeds corrupt identically")
+	name := fs.String("scenario", "exec01", "scenario recorded as the corruption target")
+	logPath := fs.String("log", "", "corrupt an existing .rlog file instead of recording a scenario")
+	metrics := addMetricsFlags(fs)
+	fs.Parse(args)
+	var container []byte
+	if *logPath != "" {
+		b, err := os.ReadFile(*logPath)
+		if err != nil {
+			return err
+		}
+		container = b
+	} else {
+		s, err := workloads.FindScenario(*name)
+		if err != nil {
+			return err
+		}
+		prog, err := s.Program()
+		if err != nil {
+			return err
+		}
+		log, err := racereplay.Record(prog, s.Config())
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := racereplay.WriteLog(&buf, log); err != nil {
+			return err
+		}
+		container = buf.Bytes()
+	}
+	reg := metrics.registry()
+	rep := chaos.Run(container, *n, *seed, reg)
+	fmt.Fprint(stdout, rep.Summary())
+	if err := metrics.emit(reg); err != nil {
+		return err
+	}
+	if v := rep.Violations(); v > 0 {
+		return fmt.Errorf("chaos: robustness contract violated %d times", v)
+	}
+	return nil
 }
 
 func cmdMarkBenign(args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -347,6 +348,126 @@ func TestCmdDetectLocksetTriage(t *testing.T) {
 	})
 	if !strings.Contains(out, "replay triage of the lockset report") {
 		t.Errorf("triage section missing:\n%s", out)
+	}
+}
+
+// resetExit zeroes the exit status for one test and restores it after,
+// so exit-code assertions don't leak between tests.
+func resetExit(t *testing.T) {
+	t.Helper()
+	old := exitCode
+	exitCode = 0
+	t.Cleanup(func() { exitCode = old })
+}
+
+// corruptCorpus returns the repo's checked-in known-bad logs.
+func corruptCorpus(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "corrupt", "*.rlog"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corrupt corpus missing: %v (%d files)", err, len(paths))
+	}
+	return paths
+}
+
+// TestExitCodeContract: 0 clean, 1 findings, 2 invalid input.
+func TestExitCodeContract(t *testing.T) {
+	resetExit(t)
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "run.rlog")
+
+	// Clean commands leave the status at 0.
+	capture(t, func() error { return cmdRecord([]string{"-seed", "6", "-o", logPath, prog}) })
+	capture(t, func() error { return cmdValidate([]string{logPath}) })
+	if exitCode != 0 {
+		t.Fatalf("clean run exit = %d, want 0", exitCode)
+	}
+
+	// Findings (the test program races) raise it to 1.
+	capture(t, func() error { return cmdClassify([]string{logPath}) })
+	if exitCode != 1 {
+		t.Fatalf("findings exit = %d, want 1", exitCode)
+	}
+
+	// Invalid input beats findings: 2.
+	capture(t, func() error { return cmdValidate([]string{corruptCorpus(t)[0]}) })
+	if exitCode != 2 {
+		t.Fatalf("invalid input exit = %d, want 2", exitCode)
+	}
+}
+
+// TestCmdValidate: good logs report ok, corrupt logs report their typed
+// error per file without aborting the sweep.
+func TestCmdValidate(t *testing.T) {
+	resetExit(t)
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "ok.rlog")
+	capture(t, func() error { return cmdRecord([]string{"-o", logPath, prog}) })
+
+	files := append([]string{logPath}, corruptCorpus(t)...)
+	out := capture(t, func() error { return cmdValidate(files) })
+	if !strings.Contains(out, "ok.rlog: ok (") {
+		t.Errorf("healthy log not reported ok:\n%s", out)
+	}
+	if !strings.Contains(out, "INVALID: trace: ") {
+		t.Errorf("corrupt log missing typed error:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("%d of %d logs invalid", len(files)-1, len(files))) {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+	if exitCode != 2 {
+		t.Errorf("validate exit = %d, want 2", exitCode)
+	}
+	if err := cmdValidate(nil); err == nil {
+		t.Error("validate with no files accepted")
+	}
+}
+
+// TestCmdAnalyzeDirQuarantinesCorruptLogs is the acceptance scenario:
+// a directory mixing healthy recordings with every known-bad log
+// completes with partial results, lists each bad file in the quarantine
+// section, and exits 2.
+func TestCmdAnalyzeDirQuarantinesCorruptLogs(t *testing.T) {
+	resetExit(t)
+	dir := filepath.Join(t.TempDir(), "logs")
+	capture(t, func() error { return cmdRecordSuite([]string{"-dir", dir}) })
+	corrupt := corruptCorpus(t)
+	for _, src := range corrupt {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "zz-"+filepath.Base(src)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir}) })
+	if !strings.Contains(out, "analyzed 18 recorded executions") {
+		t.Errorf("healthy logs not analyzed:\n%s", out[:200])
+	}
+	if !strings.Contains(out, fmt.Sprintf("quarantined: %d input(s)", len(corrupt))) {
+		t.Errorf("quarantine section missing or wrong:\n%s", out)
+	}
+	for _, src := range corrupt {
+		if !strings.Contains(out, "zz-"+filepath.Base(src)+": ") {
+			t.Errorf("quarantine section missing %s:\n%s", filepath.Base(src), out)
+		}
+	}
+	if exitCode != 2 {
+		t.Errorf("quarantined batch exit = %d, want 2", exitCode)
+	}
+}
+
+// TestCmdChaos: the CLI front end for the contract runner holds the
+// contract over a quick corruption sweep and renders the summary.
+func TestCmdChaos(t *testing.T) {
+	resetExit(t)
+	out := capture(t, func() error { return cmdChaos([]string{"-corruptions", "24", "-seed", "7"}) })
+	if !strings.Contains(out, "chaos: 24 corruptions (seed 7)") {
+		t.Errorf("chaos summary header:\n%s", out)
+	}
+	if !strings.Contains(out, "contract: 0 panics, 0 unbounded allocations, 0 untyped errors") {
+		t.Errorf("chaos contract line:\n%s", out)
 	}
 }
 

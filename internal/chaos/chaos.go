@@ -1,0 +1,264 @@
+// Package chaos is the fault-injection side of the pipeline's
+// robustness contract. The paper's replay analysis already treats
+// imperfect replays as a first-class outcome (Replay-Failure, §3.3);
+// this package extends the same posture to the log files themselves: a
+// deterministic, seeded corruption injector over serialized replay logs
+// plus a scenario runner that asserts the decode contract under every
+// corruption —
+//
+//	never panic, never allocate unbounded, always return a typed error
+//	or a valid (degraded-but-labeled) log.
+//
+// The injector corrupts at two layers, matching what a real log store
+// can hand the offline analysis: raw-payload corruptions (bit flips,
+// truncation, varint-length inflation, field mutation, duplicated and
+// dropped sequencers) are applied to the marshalled log and then
+// re-compressed into a well-formed container, while container
+// corruptions (bad magic, garbage tail) break the compressed file
+// itself. Everything is deterministic in (seed, trial index), so a
+// failing trial reproduces from its two integers.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Kind is one corruption strategy.
+type Kind int
+
+const (
+	// KindBitFlip flips a single random bit of the raw payload.
+	KindBitFlip Kind = iota
+	// KindTruncate cuts the raw payload at a random point.
+	KindTruncate
+	// KindInflateLength splices a maximal varint over a random payload
+	// byte — wherever that byte was a length or count prefix, the
+	// decoder sees an absurd claim it must reject before allocating.
+	KindInflateLength
+	// KindMutateField overwrites a short random span with random bytes.
+	KindMutateField
+	// KindDupSequencer re-marshals the log with one sequencer entry
+	// duplicated (a structured corruption: bytes stay well-formed, the
+	// log breaks a replay invariant instead).
+	KindDupSequencer
+	// KindDropSequencer re-marshals the log with one sequencer removed.
+	KindDropSequencer
+	// KindBadMagic corrupts the container's magic string.
+	KindBadMagic
+	// KindGarbageTail replaces the tail of the compressed container
+	// with random garbage, breaking the flate stream.
+	KindGarbageTail
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBitFlip:
+		return "bit-flip"
+	case KindTruncate:
+		return "truncate"
+	case KindInflateLength:
+		return "inflate-length"
+	case KindMutateField:
+		return "mutate-field"
+	case KindDupSequencer:
+		return "dup-sequencer"
+	case KindDropSequencer:
+		return "drop-sequencer"
+	case KindBadMagic:
+		return "bad-magic"
+	case KindGarbageTail:
+		return "garbage-tail"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists every corruption kind, in injection rotation order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Injector produces deterministic corruptions of a log: equal (seed,
+// trial) pairs always yield identical bytes.
+type Injector struct {
+	seed int64
+}
+
+// NewInjector returns an injector whose output is a pure function of
+// seed and the trial index.
+func NewInjector(seed int64) *Injector { return &Injector{seed: seed} }
+
+// rng derives the per-trial random stream.
+func (in *Injector) rng(trial int) *rand.Rand {
+	return rand.New(rand.NewSource(in.seed*1_000_003 + int64(trial)))
+}
+
+// CorruptFile returns the trial-th corruption of a compressed log
+// container, cycling through every Kind so any N >= len(Kinds()) trials
+// cover the full taxonomy. The result is what a corrupt .rlog file on
+// disk would look like.
+func (in *Injector) CorruptFile(container []byte, trial int) ([]byte, Kind) {
+	kind := Kind(trial % int(numKinds))
+	return in.CorruptFileKind(container, kind, trial), kind
+}
+
+// CorruptFileKind applies one specific corruption kind to a compressed
+// log container, deterministically in (seed, trial).
+func (in *Injector) CorruptFileKind(container []byte, kind Kind, trial int) []byte {
+	rng := in.rng(trial)
+	switch kind {
+	case KindBadMagic, KindGarbageTail:
+		return corruptContainer(clone(container), kind, rng)
+	}
+	raw, err := trace.Decompress(container)
+	if err != nil {
+		// Not a valid container to start from: fall back to corrupting
+		// the container bytes directly.
+		return corruptContainer(clone(container), KindGarbageTail, rng)
+	}
+	return trace.Compress(CorruptRaw(raw, kind, rng))
+}
+
+// CorruptRaw applies kind to a raw (uncompressed) marshalled log,
+// drawing any needed randomness from rng. The input slice is not
+// modified.
+func CorruptRaw(raw []byte, kind Kind, rng *rand.Rand) []byte {
+	out := clone(raw)
+	switch kind {
+	case KindBitFlip:
+		if len(out) > 0 {
+			i := rng.Intn(len(out))
+			out[i] ^= 1 << uint(rng.Intn(8))
+		}
+	case KindTruncate:
+		if len(out) > 1 {
+			out = out[:rng.Intn(len(out)-1)+1]
+		}
+	case KindInflateLength:
+		// A maximal 10-byte uvarint (2^63) spliced over one byte.
+		if len(out) > 6 {
+			pos := 6 + rng.Intn(len(out)-6) // keep magic + version intact
+			huge := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+			spliced := make([]byte, 0, len(out)+len(huge))
+			spliced = append(spliced, out[:pos]...)
+			spliced = append(spliced, huge...)
+			spliced = append(spliced, out[pos+1:]...)
+			out = spliced
+		}
+	case KindMutateField:
+		if len(out) > 0 {
+			span := 1 + rng.Intn(8)
+			pos := rng.Intn(len(out))
+			for i := pos; i < len(out) && i < pos+span; i++ {
+				out[i] = byte(rng.Intn(256))
+			}
+		}
+	case KindDupSequencer:
+		out = mutateSequencers(out, rng, func(seqs []trace.Sequencer, i int) []trace.Sequencer {
+			dup := make([]trace.Sequencer, 0, len(seqs)+1)
+			dup = append(dup, seqs[:i+1]...)
+			dup = append(dup, seqs[i:]...)
+			return dup
+		})
+	case KindDropSequencer:
+		out = mutateSequencers(out, rng, func(seqs []trace.Sequencer, i int) []trace.Sequencer {
+			drop := make([]trace.Sequencer, 0, len(seqs)-1)
+			drop = append(drop, seqs[:i]...)
+			drop = append(drop, seqs[i+1:]...)
+			return drop
+		})
+	case KindBadMagic:
+		if len(out) > 0 {
+			out[rng.Intn(min(5, len(out)))] ^= 0xff
+		}
+	case KindGarbageTail:
+		for i := max(0, len(out)-1-rng.Intn(16)); i < len(out); i++ {
+			out[i] = byte(rng.Intn(256))
+		}
+	}
+	return out
+}
+
+// mutateSequencers parses a raw log, rewrites one thread's sequencer
+// stream with edit, and re-marshals — a structured corruption that
+// keeps the byte format intact while breaking a replay invariant. If
+// the input does not parse, it falls back to a bit flip.
+func mutateSequencers(raw []byte, rng *rand.Rand, edit func(seqs []trace.Sequencer, i int) []trace.Sequencer) []byte {
+	log, err := trace.Unmarshal(raw)
+	if err != nil || len(log.Threads) == 0 {
+		return CorruptRaw(raw, KindBitFlip, rng)
+	}
+	t := log.Threads[rng.Intn(len(log.Threads))]
+	if len(t.Seqs) == 0 {
+		return CorruptRaw(raw, KindBitFlip, rng)
+	}
+	t.Seqs = edit(t.Seqs, rng.Intn(len(t.Seqs)))
+	return trace.Marshal(log)
+}
+
+// corruptContainer applies the container-level kinds in place.
+func corruptContainer(data []byte, kind Kind, rng *rand.Rand) []byte {
+	if len(data) == 0 {
+		return []byte{0xff}
+	}
+	switch kind {
+	case KindBadMagic:
+		data[rng.Intn(min(5, len(data)))] ^= 0xff
+	default: // KindGarbageTail
+		start := len(data) / 2
+		for i := start; i < len(data); i++ {
+			data[i] = byte(rng.Intn(256))
+		}
+	}
+	return data
+}
+
+// KnownBad returns, for every corruption kind, container bytes that are
+// guaranteed to fail the full decode path (Decompress + Unmarshal +
+// Validate). Kinds whose random draw happens to produce a still-valid
+// log (a bit flip in a don't-care byte, a dropped sequencer the
+// validator tolerates) are retried on successive trials; a kind that
+// cannot be made to fail after maxTries is skipped. This is the
+// generator behind testdata/corrupt.
+func KnownBad(container []byte, seed int64) map[Kind][]byte {
+	const maxTries = 256
+	in := NewInjector(seed)
+	out := make(map[Kind][]byte, numKinds)
+	for _, kind := range Kinds() {
+		for try := 0; try < maxTries; try++ {
+			bad := in.CorruptFileKind(container, kind, int(kind)+int(numKinds)*try)
+			if decodeFails(bad) {
+				out[kind] = bad
+				break
+			}
+		}
+	}
+	return out
+}
+
+// decodeFails reports whether the full file decode path rejects data.
+func decodeFails(data []byte) bool {
+	raw, err := trace.Decompress(data)
+	if err != nil {
+		return true
+	}
+	log, err := trace.Unmarshal(raw)
+	if err != nil {
+		return true
+	}
+	return trace.Validate(log) != nil
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -252,7 +252,19 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	workers := sched.Normalize(opts.Parallel, 1)
 	sched.ForEach(workers, len(work), func(k int) {
 		w := work[k]
-		results[w.race][w.inst] = vproc.AnalyzeOpts(exec, racePair(instances[w.race][w.inst]), vopts)
+		// Panic isolation per instance: a dual-order replay that panics
+		// (a corrupt log can trip invariants the decoder cannot check)
+		// records a ReplayFailure outcome instead of crashing the batch.
+		err := sched.Guard(opts.Metrics, func() error {
+			results[w.race][w.inst] = vproc.AnalyzeOpts(exec, racePair(instances[w.race][w.inst]), vopts)
+			return nil
+		})
+		if err != nil {
+			results[w.race][w.inst] = vproc.Result{
+				Outcome:    vproc.ReplayFailure,
+				FailReason: fmt.Sprintf("panic during dual-order replay: %v", err),
+			}
+		}
 	})
 
 	cls := &Classification{}

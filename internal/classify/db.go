@@ -81,7 +81,11 @@ func (db *DB) Save(path string) error {
 }
 
 // LoadDB reads a database written by Save. A missing file yields an empty
-// database, so first runs need no setup.
+// database, so first runs need no setup. On any other failure — an
+// unreadable file, truncated or garbage JSON — the returned database is
+// still non-nil, empty, and usable alongside the error, so a caller that
+// chooses to proceed degrades to "no suppressions" instead of crashing
+// on a nil DB.
 func LoadDB(path string) (*DB, error) {
 	db := NewDB()
 	data, err := os.ReadFile(path)
@@ -89,11 +93,11 @@ func LoadDB(path string) (*DB, error) {
 		return db, nil
 	}
 	if err != nil {
-		return nil, err
+		return db, err
 	}
 	var marks []Mark
 	if err := json.Unmarshal(data, &marks); err != nil {
-		return nil, fmt.Errorf("classify: parse db %s: %w", path, err)
+		return db, fmt.Errorf("classify: parse db %s: %w", path, err)
 	}
 	for _, m := range marks {
 		db.marks[hb.MakeSitePair(m.SiteA, m.SiteB)] = m

@@ -1,0 +1,74 @@
+package classify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hb"
+)
+
+// TestLoadDBBadContentReturnsUsableDB: every load failure — truncated
+// JSON, garbage bytes, a path that is a directory — must return an
+// error AND a non-nil, empty, fully usable database, so callers that
+// proceed degrade to "no suppressions" instead of crashing on nil.
+func TestLoadDBBadContentReturnsUsableDB(t *testing.T) {
+	dir := t.TempDir()
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, []byte(`[{"site_a":"p:a","site_b":"p:b","verd`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("\x00\xff\xfenot json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ name, path string }{
+		{"truncated", truncated},
+		{"garbage", garbage},
+		{"directory", dir},
+	}
+	for _, c := range cases {
+		db, err := LoadDB(c.path)
+		if err == nil {
+			t.Errorf("%s: bad db accepted", c.name)
+		}
+		if db == nil {
+			t.Fatalf("%s: nil db alongside error", c.name)
+		}
+		if n := len(db.Marks()); n != 0 {
+			t.Errorf("%s: failed load kept %d marks", c.name, n)
+		}
+		// The degraded database must still take and answer marks.
+		sites := hb.MakeSitePair("p:a", "p:b")
+		db.MarkBenign(sites, "added after failed load")
+		if !db.IsMarkedBenign(sites) {
+			t.Errorf("%s: db unusable after failed load", c.name)
+		}
+	}
+}
+
+// TestLoadDBTruncatedErrorNamesFile: the parse error carries the path,
+// so a quarantine line or CLI message identifies which file is bad.
+func TestLoadDBTruncatedErrorNamesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "races.json")
+	db := NewDB()
+	db.MarkBenign(hb.MakeSitePair("p:a", "p:b"), "note")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadDB(path)
+	if err == nil {
+		t.Fatal("truncated db accepted")
+	}
+	if !strings.Contains(err.Error(), "races.json") {
+		t.Errorf("error %q does not name the file", err)
+	}
+}

@@ -83,13 +83,35 @@ func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Regi
 	}, nil
 }
 
+// Quarantined records one batch item whose analysis failed — the
+// degraded-but-labeled half of the pipeline's robustness contract. A
+// quarantined item never aborts its batch: the run completes with
+// partial results and the per-item error (a *trace.DecodeError,
+// *trace.ValidateError, replay error, or recovered *sched.PanicError)
+// lands here for the report's quarantine section.
+type Quarantined struct {
+	Index int    // position in the batch
+	Label string // Options.Scenario (or file name) when set
+	Err   error
+}
+
+func (q Quarantined) String() string {
+	if q.Label != "" {
+		return fmt.Sprintf("%s: %v", q.Label, q.Err)
+	}
+	return fmt.Sprintf("item %d: %v", q.Index, q.Err)
+}
+
 // AnalyzeLogs runs the offline half over a batch of logs, fanning the
 // per-log work across jobs workers (jobs < 1 means GOMAXPROCS). optsFor
 // supplies the classify options for the i-th log. Results come back in
-// input order and are identical to analyzing each log serially; on
-// failure the error for the lowest-indexed failing log is returned,
-// labeled with that log's Options.Scenario when set.
-func AnalyzeLogs(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int) ([]*Result, error) {
+// input order and are identical to analyzing each log serially.
+//
+// The batch never aborts: a log that fails to replay — or whose
+// analysis panics — leaves a nil slot in the results and a Quarantined
+// entry (ascending by index) describing the failure. len(results) is
+// always len(logs).
+func AnalyzeLogs(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int) ([]*Result, []Quarantined) {
 	return AnalyzeLogsInstrumented(logs, optsFor, jobs, nil)
 }
 
@@ -97,15 +119,22 @@ func AnalyzeLogs(logs []*trace.Log, optsFor func(i int) classify.Options, jobs i
 // publishes spans through a fork of reg; forks are adopted in input
 // order after the batch drains, so the merged replay/detect/classify
 // ladder is identical at every worker count. The pool additionally
-// publishes its sched.* metrics into reg. A nil reg is exactly
-// AnalyzeLogs.
-func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int, reg *obs.Registry) ([]*Result, error) {
+// publishes its sched.* metrics, every recovered panic increments
+// sched.panics, and every quarantined item increments
+// robust.quarantined. A nil reg is exactly AnalyzeLogs.
+func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int, reg *obs.Registry) ([]*Result, []Quarantined) {
 	results := make([]*Result, len(logs))
 	errs := make([]error, len(logs))
+	analyze := func(i int, reg *obs.Registry) {
+		errs[i] = sched.Guard(reg, func() (err error) {
+			results[i], err = AnalyzeLogInstrumented(logs[i], optsFor(i), reg)
+			return err
+		})
+	}
 	jobs = sched.Normalize(jobs, sched.DefaultJobs())
 	if jobs <= 1 || len(logs) < 2 {
-		for i, log := range logs {
-			results[i], errs[i] = AnalyzeLogInstrumented(log, optsFor(i), reg)
+		for i := range logs {
+			analyze(i, reg)
 		}
 	} else {
 		forks := make([]*obs.Registry, len(logs))
@@ -113,24 +142,22 @@ func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Opt
 		for i := range logs {
 			i := i
 			forks[i] = reg.Fork()
-			pool.Submit(func() {
-				results[i], errs[i] = AnalyzeLogInstrumented(logs[i], optsFor(i), forks[i])
-			})
+			pool.Submit(func() { analyze(i, forks[i]) })
 		}
 		pool.Wait()
 		for _, f := range forks {
 			reg.Adopt(f)
 		}
 	}
+	var quarantined []Quarantined
 	for i, err := range errs {
 		if err != nil {
-			if scenario := optsFor(i).Scenario; scenario != "" {
-				return nil, fmt.Errorf("%s: %w", scenario, err)
-			}
-			return nil, err
+			results[i] = nil // a panicked job may have left a partial result
+			quarantined = append(quarantined, Quarantined{Index: i, Label: optsFor(i).Scenario, Err: err})
+			reg.Counter("robust.quarantined").Inc()
 		}
 	}
-	return results, nil
+	return results, quarantined
 }
 
 // Analyze is the whole pipeline: record prog, then analyze the log.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/classify"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -142,9 +143,9 @@ func TestAnalyzeLogsMatchesSerial(t *testing.T) {
 		}
 	}
 	for _, jobs := range []int{1, 4, 16} {
-		got, err := AnalyzeLogs(logs, optsFor, jobs)
-		if err != nil {
-			t.Fatalf("jobs=%d: %v", jobs, err)
+		got, quarantined := AnalyzeLogs(logs, optsFor, jobs)
+		if len(quarantined) != 0 {
+			t.Fatalf("jobs=%d: healthy batch quarantined %v", jobs, quarantined)
 		}
 		if len(got) != len(want) {
 			t.Fatalf("jobs=%d: %d results, want %d", jobs, len(got), len(want))
@@ -160,9 +161,11 @@ func TestAnalyzeLogsMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestAnalyzeLogsReportsFirstErrorByIndex: a corrupt log mid-batch
-// surfaces as the lowest-indexed failure, labeled with its scenario.
-func TestAnalyzeLogsReportsFirstErrorByIndex(t *testing.T) {
+// TestAnalyzeLogsQuarantinesBadItems: corrupt logs mid-batch do not
+// abort it — the healthy log is still analyzed and each bad log lands
+// in the quarantine list, labeled and in index order, at any worker
+// count.
+func TestAnalyzeLogsQuarantinesBadItems(t *testing.T) {
 	prog, err := asm.Assemble("core", racySrc)
 	if err != nil {
 		t.Fatal(err)
@@ -181,13 +184,55 @@ func TestAnalyzeLogsReportsFirstErrorByIndex(t *testing.T) {
 		bad.Threads[i] = &cp
 	}
 	logs := []*trace.Log{good, &bad, &bad}
-	_, err = AnalyzeLogs(logs, func(i int) classify.Options {
-		return classify.Options{Scenario: fmt.Sprintf("log%d", i)}
-	}, 4)
-	if err == nil {
-		t.Fatal("corrupt log did not fail the batch")
+	for _, jobs := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		results, quarantined := AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
+			return classify.Options{Scenario: fmt.Sprintf("log%d", i)}
+		}, jobs, reg)
+		if len(results) != 3 || results[0] == nil {
+			t.Fatalf("jobs=%d: healthy log not analyzed (results %v)", jobs, results)
+		}
+		if results[1] != nil || results[2] != nil {
+			t.Errorf("jobs=%d: corrupt logs produced results", jobs)
+		}
+		if len(quarantined) != 2 {
+			t.Fatalf("jobs=%d: quarantined %d items, want 2", jobs, len(quarantined))
+		}
+		if quarantined[0].Index != 1 || quarantined[0].Label != "log1" || quarantined[0].Err == nil {
+			t.Errorf("jobs=%d: first quarantined item = %+v", jobs, quarantined[0])
+		}
+		if !strings.Contains(quarantined[0].String(), "log1") {
+			t.Errorf("jobs=%d: quarantine line %q not labeled", jobs, quarantined[0])
+		}
+		if got := reg.Counter("robust.quarantined").Value(); got != 2 {
+			t.Errorf("jobs=%d: robust.quarantined = %d, want 2", jobs, got)
+		}
 	}
-	if !strings.Contains(err.Error(), "log1") {
-		t.Errorf("error %q not labeled with the first failing log's scenario", err)
+}
+
+// TestAnalyzeLogsIsolatesPanics: a log whose analysis panics outright
+// (nil program) quarantines as a *sched.PanicError instead of crashing
+// the batch.
+func TestAnalyzeLogsIsolatesPanics(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _, err := Record(prog, machine.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Prog = nil // replay dereferences the program: guaranteed panic or error
+	for _, jobs := range []int{1, 4} {
+		results, quarantined := AnalyzeLogs([]*trace.Log{&bad, good}, func(i int) classify.Options {
+			return classify.Options{Scenario: fmt.Sprintf("log%d", i)}
+		}, jobs)
+		if results[1] == nil {
+			t.Fatalf("jobs=%d: healthy log lost to the panicking one", jobs)
+		}
+		if len(quarantined) != 1 || quarantined[0].Index != 0 {
+			t.Fatalf("jobs=%d: quarantine = %v, want the panicking log only", jobs, quarantined)
+		}
 	}
 }

@@ -1,0 +1,24 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// QuarantineSection renders the degraded-input half of a batch report:
+// one line per quarantined item, labeled with the scenario or file name
+// and its typed error. An empty quarantine renders nothing, so callers
+// can print it unconditionally.
+func QuarantineSection(items []core.Quarantined) string {
+	if len(items) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantined: %d input(s) excluded from the analysis\n", len(items))
+	for _, q := range items {
+		fmt.Fprintf(&b, "  %s\n", q)
+	}
+	return b.String()
+}

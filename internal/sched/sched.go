@@ -25,13 +25,42 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// PanicError is a panic recovered from a scheduled job, carrying the
+// panic value and the goroutine stack at the point of the panic. It is
+// how a crashing job surfaces as a per-job error instead of taking the
+// whole pool (and process) down.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job panicked: %v", e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError return and
+// counting it on the registry's sched.panics counter (nil reg skips the
+// counter, never the recovery). Job bodies whose failure should
+// quarantine rather than crash wrap themselves with Guard.
+func Guard(reg *obs.Registry, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reg.Counter("sched.panics").Inc()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // DefaultJobs is the worker count used when a jobs knob is unset:
 // GOMAXPROCS, i.e. as parallel as the hardware allows.
@@ -69,6 +98,13 @@ func Normalize(n, def int) int {
 //	sched.worker_idle_ns      counter   summed time waiting for work
 //	sched.worker_utilization  gauge     busy / (busy + idle), set by Wait
 //	sched.task_latency_ns     histogram per-task wall latency
+//	sched.panics              counter   panics recovered from tasks
+//
+// Workers are panic-isolated: a task that panics is recovered (and
+// counted on sched.panics) instead of killing the worker goroutine and
+// deadlocking Wait. Tasks that want the panic as a per-job error wrap
+// their body with Guard; the worker-level recovery is the last line of
+// defense for tasks that don't.
 type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -78,7 +114,7 @@ type Pool struct {
 	wg     sync.WaitGroup
 
 	cSubmitted, cCompleted *obs.Counter
-	cBusy, cIdle           *obs.Counter
+	cBusy, cIdle, cPanics  *obs.Counter
 	gDepth, gPeak, gUtil   *obs.Gauge
 	hLatency               *obs.Histogram
 }
@@ -92,6 +128,7 @@ func NewPool(workers int, reg *obs.Registry) *Pool {
 		cCompleted: reg.Counter("sched.tasks_completed"),
 		cBusy:      reg.Counter("sched.worker_busy_ns"),
 		cIdle:      reg.Counter("sched.worker_idle_ns"),
+		cPanics:    reg.Counter("sched.panics"),
 		gDepth:     reg.Gauge("sched.queue_depth"),
 		gPeak:      reg.Gauge("sched.queue_peak"),
 		gUtil:      reg.Gauge("sched.worker_utilization"),
@@ -158,12 +195,24 @@ func (p *Pool) worker() {
 		p.cIdle.Add(uint64(time.Since(idleStart).Nanoseconds()))
 
 		start := time.Now()
-		f()
+		p.runTask(f)
 		d := time.Since(start)
 		p.cBusy.Add(uint64(d.Nanoseconds()))
 		p.hLatency.Observe(int(d.Nanoseconds()))
 		p.cCompleted.Inc()
 	}
+}
+
+// runTask executes one task with worker-level panic isolation: a
+// panicking task is counted and swallowed so the worker survives and
+// Wait still returns. Tasks that need the panic as data use Guard.
+func (p *Pool) runTask(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.cPanics.Inc()
+		}
+	}()
+	f()
 }
 
 // ForEach runs f(0), …, f(n-1) across at most `workers` goroutines

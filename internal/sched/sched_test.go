@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -132,5 +134,60 @@ func TestForEachCoversRangeAtAnyWidth(t *testing.T) {
 	ForEach(4, 1, func(i int) { ran++ })
 	if ran != 1 {
 		t.Errorf("n=1 ran %d times", ran)
+	}
+}
+
+// TestPoolSurvivesPanickingTasks: a panicking job must not kill its
+// worker — the rest of the queue still drains, Wait returns, and the
+// panic is counted on sched.panics.
+func TestPoolSurvivesPanickingTasks(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, reg)
+	var ok atomic.Int32
+	for i := 0; i < 20; i++ {
+		i := i
+		p.Submit(func() {
+			if i%4 == 0 {
+				panic("job exploded")
+			}
+			ok.Add(1)
+		})
+	}
+	p.Wait()
+	if got := ok.Load(); got != 15 {
+		t.Errorf("%d healthy tasks ran, want 15", got)
+	}
+	if got := reg.Counter("sched.panics").Value(); got != 5 {
+		t.Errorf("sched.panics = %d, want 5", got)
+	}
+	if got := reg.Counter("sched.tasks_completed").Value(); got != 20 {
+		t.Errorf("sched.tasks_completed = %d, want 20", got)
+	}
+}
+
+// TestGuardConvertsPanicToError: Guard returns the panic as a
+// *PanicError with a stack, counts it, and passes plain errors through.
+func TestGuardConvertsPanicToError(t *testing.T) {
+	reg := obs.NewRegistry()
+	err := Guard(reg, func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PanicError", err, err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v, want value boom with stack", pe)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q missing panic value", err.Error())
+	}
+	if got := reg.Counter("sched.panics").Value(); got != 1 {
+		t.Errorf("sched.panics = %d, want 1", got)
+	}
+	if err := Guard(reg, func() error { return nil }); err != nil {
+		t.Errorf("clean fn returned %v", err)
+	}
+	want := errors.New("plain")
+	if err := Guard(nil, func() error { return want }); err != want {
+		t.Errorf("plain error not passed through: %v", err)
 	}
 }

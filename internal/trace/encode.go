@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -44,12 +45,73 @@ func (e *encoder) bytes(b []byte) {
 	e.buf.Write(b)
 }
 
+// Minimum encoded sizes of the count-prefixed stream entries. Every
+// count read by the decoder is capped at remaining/minSize before any
+// slice is allocated, so the allocation for a stream is always bounded
+// by a small constant times the bytes actually present — a hostile
+// varint cannot translate into an unbounded make().
+const (
+	minDataBytes   = 2 // addr delta + value
+	minSymBytes    = 2 // name length + address
+	minLoadBytes   = 3 // idx delta + addr + value
+	minSysBytes    = 2 // idx delta + result
+	minSeqBytes    = 4 // idx delta + ts delta + kind byte + aux
+	minViewBytes   = 2 // addr delta + value
+	minThreadBytes = 12 + isa.NumRegs
+)
+
+// minKFBytes is a key frame's floor: idx delta + pc + register file +
+// view count.
+const minKFBytes = 3 + isa.NumRegs
+
 type decoder struct {
-	r *bytes.Reader
+	r       *bytes.Reader
+	n       int    // payload length, for offset reporting
+	section string // format section currently being decoded
 }
 
-func (d *decoder) u() (uint64, error) { return binary.ReadUvarint(d.r) }
-func (d *decoder) i() (int64, error)  { return binary.ReadVarint(d.r) }
+// fail wraps err into a *DecodeError carrying the current offset and
+// section, normalizing the io package's end-of-input errors to
+// ErrTruncated.
+func (d *decoder) fail(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		err = ErrTruncated
+	}
+	return &DecodeError{Offset: d.n - d.r.Len(), Section: d.section, Err: err}
+}
+
+func (d *decoder) in(section string) { d.section = section }
+
+func (d *decoder) u() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, d.fail(err)
+	}
+	return v, nil
+}
+
+func (d *decoder) i() (int64, error) {
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return 0, d.fail(err)
+	}
+	return v, nil
+}
+
+// count reads a count prefix for entries of at least minSize encoded
+// bytes each and rejects counts the remaining input cannot hold.
+func (d *decoder) count(minSize int) (uint64, error) {
+	n, err := d.u()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.r.Len())/uint64(minSize) {
+		return 0, d.fail(fmt.Errorf("%w: %d entries of >= %d bytes with %d bytes left",
+			ErrLengthOverflow, n, minSize, d.r.Len()))
+	}
+	return n, nil
+}
+
 func (d *decoder) str() (string, error) {
 	b, err := d.byteSlice()
 	return string(b), err
@@ -61,11 +123,13 @@ func (d *decoder) byteSlice() ([]byte, error) {
 		return nil, err
 	}
 	if n > uint64(d.r.Len()) {
-		return nil, fmt.Errorf("trace: truncated log (want %d bytes, have %d)", n, d.r.Len())
+		return nil, d.fail(fmt.Errorf("%w: %d bytes announced, %d left", ErrLengthOverflow, n, d.r.Len()))
 	}
 	b := make([]byte, n)
-	_, err = io.ReadFull(d.r, b)
-	return b, err
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return nil, d.fail(err)
+	}
+	return b, nil
 }
 
 // Marshal serializes log to its raw (uncompressed) binary form.
@@ -186,22 +250,29 @@ func Marshal(log *Log) []byte {
 	return e.buf.Bytes()
 }
 
-// Unmarshal parses a raw log produced by Marshal.
+// Unmarshal parses a raw log produced by Marshal. Failures are typed:
+// a malformed input returns a *DecodeError (with offset and section), a
+// well-formed input breaking a replay invariant returns a
+// *ValidateError. Unmarshal never panics and never allocates more than
+// a small constant factor of len(raw), whatever the bytes say.
 func Unmarshal(raw []byte) (*Log, error) {
 	if len(raw) < len(rawMagic) || string(raw[:len(rawMagic)]) != rawMagic {
-		return nil, fmt.Errorf("trace: bad magic")
+		return nil, &DecodeError{Section: "magic", Err: ErrBadMagic}
 	}
-	d := decoder{r: bytes.NewReader(raw[len(rawMagic):])}
+	payload := raw[len(rawMagic):]
+	d := decoder{r: bytes.NewReader(payload), n: len(payload)}
+	d.in("header")
 	ver, err := d.u()
 	if err != nil {
 		return nil, err
 	}
 	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return nil, d.fail(fmt.Errorf("unsupported version %d", ver))
 	}
 
 	log := &Log{}
 	p := isa.NewProgram("")
+	d.in("program")
 	if p.Name, err = d.str(); err != nil {
 		return nil, err
 	}
@@ -210,14 +281,15 @@ func Unmarshal(raw []byte) (*Log, error) {
 		return nil, err
 	}
 	if p.Code, err = isa.DecodeCode(codeBytes); err != nil {
-		return nil, err
+		return nil, d.fail(err)
 	}
 	entry, err := d.u()
 	if err != nil {
 		return nil, err
 	}
 	p.Entry = int(entry)
-	nData, err := d.u()
+	d.in("program data")
+	nData, err := d.count(minDataBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +306,8 @@ func Unmarshal(raw []byte) (*Log, error) {
 		}
 		p.Data[addr] = v
 	}
-	nSyms, err := d.u()
+	d.in("program symbols")
+	nSyms, err := d.count(minSymBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +324,7 @@ func Unmarshal(raw []byte) (*Log, error) {
 	}
 	log.Prog = p
 
+	d.in("run metadata")
 	if log.Seed, err = d.i(); err != nil {
 		return nil, err
 	}
@@ -266,11 +340,14 @@ func Unmarshal(raw []byte) (*Log, error) {
 	}
 	log.Deadlocked = dl != 0
 
-	nThreads, err := d.u()
+	d.in("threads")
+	nThreads, err := d.count(minThreadBytes)
 	if err != nil {
 		return nil, err
 	}
+	log.Threads = make([]*ThreadLog, 0, nThreads)
 	for i := uint64(0); i < nThreads; i++ {
+		d.in(fmt.Sprintf("thread %d header", i))
 		t := &ThreadLog{}
 		var v uint64
 		if v, err = d.u(); err != nil {
@@ -321,12 +398,10 @@ func Unmarshal(raw []byte) (*Log, error) {
 			t.Fault = f
 		}
 
-		nLoads, err := d.u()
+		d.in(fmt.Sprintf("thread %d loads", i))
+		nLoads, err := d.count(minLoadBytes)
 		if err != nil {
 			return nil, err
-		}
-		if nLoads > uint64(d.r.Len()) {
-			return nil, fmt.Errorf("trace: truncated load stream")
 		}
 		idx := uint64(0)
 		t.Loads = make([]LoadRec, 0, nLoads)
@@ -347,12 +422,10 @@ func Unmarshal(raw []byte) (*Log, error) {
 			t.Loads = append(t.Loads, LoadRec{Idx: idx, Addr: a, Val: val})
 		}
 
-		nSys, err := d.u()
+		d.in(fmt.Sprintf("thread %d sysrets", i))
+		nSys, err := d.count(minSysBytes)
 		if err != nil {
 			return nil, err
-		}
-		if nSys > uint64(d.r.Len()) {
-			return nil, fmt.Errorf("trace: truncated sysret stream")
 		}
 		idx = 0
 		t.SysRets = make([]SysRec, 0, nSys)
@@ -369,12 +442,10 @@ func Unmarshal(raw []byte) (*Log, error) {
 			t.SysRets = append(t.SysRets, SysRec{Idx: idx, Res: res})
 		}
 
-		nSeqs, err := d.u()
+		d.in(fmt.Sprintf("thread %d sequencers", i))
+		nSeqs, err := d.count(minSeqBytes)
 		if err != nil {
 			return nil, err
-		}
-		if nSeqs > uint64(d.r.Len()) {
-			return nil, fmt.Errorf("trace: truncated sequencer stream")
 		}
 		idx = 0
 		ts := uint64(0)
@@ -392,7 +463,7 @@ func Unmarshal(raw []byte) (*Log, error) {
 			ts += dt
 			kb, err := d.r.ReadByte()
 			if err != nil {
-				return nil, err
+				return nil, d.fail(err)
 			}
 			aux, err := d.i()
 			if err != nil {
@@ -401,14 +472,15 @@ func Unmarshal(raw []byte) (*Log, error) {
 			t.Seqs = append(t.Seqs, Sequencer{Idx: idx, TS: ts, Kind: SeqKind(kb), Aux: aux})
 		}
 
-		nKF, err := d.u()
+		d.in(fmt.Sprintf("thread %d key frames", i))
+		nKF, err := d.count(minKFBytes)
 		if err != nil {
 			return nil, err
 		}
-		if nKF > uint64(d.r.Len()) {
-			return nil, fmt.Errorf("trace: truncated key-frame stream")
-		}
 		idx = 0
+		if nKF > 0 {
+			t.KeyFrames = make([]KeyFrame, 0, nKF)
+		}
 		for j := uint64(0); j < nKF; j++ {
 			var kf KeyFrame
 			di, err := d.u()
@@ -427,12 +499,9 @@ func Unmarshal(raw []byte) (*Log, error) {
 					return nil, err
 				}
 			}
-			nView, err := d.u()
+			nView, err := d.count(minViewBytes)
 			if err != nil {
 				return nil, err
-			}
-			if nView > uint64(d.r.Len()) {
-				return nil, fmt.Errorf("trace: truncated key-frame view")
 			}
 			addr := uint64(0)
 			kf.View = make([]LoadRec, 0, nView)
@@ -474,16 +543,28 @@ func Compress(raw []byte) []byte {
 	return out.Bytes()
 }
 
-// Decompress inflates a container produced by Compress.
+// MaxRawLogBytes caps how far Decompress will inflate a container. A
+// hostile flate stream can expand ~1000x, so without a ceiling a small
+// corrupt file could balloon into an arbitrarily large allocation; the
+// limit keeps the decode contract — allocation bounded by the input —
+// honest across the container layer too.
+const MaxRawLogBytes = 1 << 30
+
+// Decompress inflates a container produced by Compress. Failures are
+// *DecodeError: a missing container magic, a broken flate stream, or a
+// payload inflating past MaxRawLogBytes.
 func Decompress(data []byte) ([]byte, error) {
 	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
-		return nil, fmt.Errorf("trace: bad container magic")
+		return nil, &DecodeError{Section: "container magic", Err: ErrBadMagic}
 	}
 	r := flate.NewReader(bytes.NewReader(data[len(fileMagic):]))
 	defer r.Close()
-	raw, err := io.ReadAll(r)
+	raw, err := io.ReadAll(io.LimitReader(r, MaxRawLogBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("trace: inflate: %w", err)
+		return nil, &DecodeError{Section: "container payload", Err: fmt.Errorf("inflate: %w", err)}
+	}
+	if len(raw) > MaxRawLogBytes {
+		return nil, &DecodeError{Section: "container payload", Err: ErrTooLarge}
 	}
 	return raw, nil
 }

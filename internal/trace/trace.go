@@ -185,57 +185,74 @@ func (l *Log) Instructions() uint64 {
 	return n
 }
 
-// Validate checks the structural invariants replay depends on: sequencer
-// timestamps strictly increase within a thread, indices are monotone and
-// bounded by the retirement count, and each thread's log starts with
-// SeqStart and finishes with SeqEnd.
+// Validate checks the structural invariants replay depends on: thread
+// ids are unique, sequencer timestamps strictly increase within a
+// thread, indices are monotone and bounded by the retirement count
+// (region well-formedness), and each thread's log starts with SeqStart
+// and finishes with SeqEnd. Failures are *ValidateError, naming the
+// offending thread and the invariant that broke.
 func (l *Log) Validate() error {
 	if l.Prog == nil {
-		return fmt.Errorf("trace: log has no program")
+		return validateErr(-1, "program", "log has no program")
 	}
+	seen := make(map[int]bool, len(l.Threads))
 	for _, t := range l.Threads {
+		if seen[t.TID] {
+			return validateErr(t.TID, "thread-ids", "duplicate thread id")
+		}
+		seen[t.TID] = true
 		if len(t.Seqs) < 2 {
-			return fmt.Errorf("trace: thread %d has %d sequencers, want >= 2", t.TID, len(t.Seqs))
+			return validateErr(t.TID, "seq-endpoints", "%d sequencers, want >= 2", len(t.Seqs))
 		}
 		if t.Seqs[0].Kind != SeqStart || t.Seqs[0].Idx != 0 {
-			return fmt.Errorf("trace: thread %d does not start with SeqStart", t.TID)
+			return validateErr(t.TID, "seq-endpoints", "does not start with SeqStart")
 		}
 		last := t.Seqs[len(t.Seqs)-1]
 		if last.Kind != SeqEnd || last.Idx != t.Retired {
-			return fmt.Errorf("trace: thread %d does not end with SeqEnd at %d", t.TID, t.Retired)
+			return validateErr(t.TID, "seq-endpoints", "does not end with SeqEnd at %d", t.Retired)
 		}
 		for i := 1; i < len(t.Seqs); i++ {
 			if t.Seqs[i].TS <= t.Seqs[i-1].TS {
-				return fmt.Errorf("trace: thread %d sequencer timestamps not increasing at %d", t.TID, i)
+				return validateErr(t.TID, "seq-timestamps", "timestamps not increasing at %d", i)
 			}
 			if t.Seqs[i].Idx < t.Seqs[i-1].Idx {
-				return fmt.Errorf("trace: thread %d sequencer indices not monotone at %d", t.TID, i)
+				return validateErr(t.TID, "seq-indices", "indices not monotone at %d", i)
+			}
+			if t.Seqs[i].Idx > t.Retired {
+				return validateErr(t.TID, "seq-indices", "sequencer %d beyond retirement", i)
 			}
 		}
 		for i := 1; i < len(t.Loads); i++ {
 			if t.Loads[i].Idx < t.Loads[i-1].Idx {
-				return fmt.Errorf("trace: thread %d load indices not monotone at %d", t.TID, i)
+				return validateErr(t.TID, "load-indices", "indices not monotone at %d", i)
 			}
 		}
 		for i := 1; i < len(t.SysRets); i++ {
 			if t.SysRets[i].Idx <= t.SysRets[i-1].Idx {
-				return fmt.Errorf("trace: thread %d sysret indices not increasing at %d", t.TID, i)
+				return validateErr(t.TID, "sysret-indices", "indices not increasing at %d", i)
 			}
 		}
 		if n := len(t.Loads); n > 0 && t.Loads[n-1].Idx >= t.Retired {
-			return fmt.Errorf("trace: thread %d load index beyond retirement", t.TID)
+			return validateErr(t.TID, "load-indices", "load index beyond retirement")
 		}
 		if t.EndReason == EndFaulted && t.Fault == nil {
-			return fmt.Errorf("trace: thread %d faulted without fault record", t.TID)
+			return validateErr(t.TID, "fault-record", "faulted without fault record")
 		}
 		for i := 1; i < len(t.KeyFrames); i++ {
 			if t.KeyFrames[i].Idx <= t.KeyFrames[i-1].Idx {
-				return fmt.Errorf("trace: thread %d key frames not increasing at %d", t.TID, i)
+				return validateErr(t.TID, "keyframe-indices", "key frames not increasing at %d", i)
 			}
 		}
 		if n := len(t.KeyFrames); n > 0 && t.KeyFrames[n-1].Idx > t.Retired {
-			return fmt.Errorf("trace: thread %d key frame beyond retirement", t.TID)
+			return validateErr(t.TID, "keyframe-indices", "key frame beyond retirement")
 		}
 	}
 	return nil
 }
+
+// Validate is the package-level validation pass over a parsed log — the
+// same invariants Log.Validate checks, exported standalone so callers
+// (the `racer validate` command, the chaos harness) can separate "does
+// not parse" (*DecodeError) from "parses but cannot be replayed"
+// (*ValidateError).
+func Validate(l *Log) error { return l.Validate() }

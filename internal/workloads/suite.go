@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -21,6 +22,12 @@ type ScenarioRun struct {
 type SuiteRun struct {
 	Scenarios []ScenarioRun
 	Merged    *classify.Classification
+	// Quarantined lists the scenario×seed items that failed — a program
+	// that would not build, a recording that died, a log that would not
+	// replay, or an analysis that panicked. The run completes with the
+	// healthy scenarios; quarantined items carry their label and error
+	// for the report's quarantine section.
+	Quarantined []core.Quarantined
 }
 
 // SuiteOptions configures a suite analysis.
@@ -65,6 +72,12 @@ func RunSuiteInstrumented(db *classify.DB, reg *obs.Registry) (*SuiteRun, error)
 // opts.Jobs workers with deterministic, input-order merging: the report,
 // the merged classification, and the stage counters are identical at
 // every worker count.
+//
+// The run has quarantine semantics: a scenario×seed that fails at any
+// stage is skipped with its error recorded in SuiteRun.Quarantined (and
+// counted on robust.quarantined), and the rest of the suite completes.
+// The error return is reserved for failures that leave nothing to
+// report.
 func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	seeds := opts.Seeds
 	if seeds < 1 {
@@ -75,14 +88,17 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	defer suite.End()
 
 	// Online half: record every scenario × seed serially, keeping the
-	// native baseline next to each recording as before.
+	// native baseline next to each recording as before. A recording
+	// that fails — or panics — quarantines its scenario×seed slot.
 	type recording struct {
 		scenario Scenario
 		label    string
 		log      *trace.Log
 		machine  *machine.Result
 	}
+	run := &SuiteRun{}
 	var recs []recording
+	slot := 0
 	for _, base := range Scenarios() {
 		for k := 0; k < seeds; k++ {
 			s := base
@@ -91,46 +107,58 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 			if seeds > 1 {
 				label = fmt.Sprintf("%s#%d", s.Name, k)
 			}
-			prog, err := s.Program()
-			if err != nil {
-				return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
-			}
-			if reg != nil {
-				if err := runNative(prog, s.Config(), reg); err != nil {
-					return nil, fmt.Errorf("workloads: %s: native baseline: %w", s.Name, err)
+			rec := recording{scenario: s, label: label}
+			err := sched.Guard(reg, func() error {
+				prog, err := s.Program()
+				if err != nil {
+					return fmt.Errorf("program: %w", err)
 				}
-			}
-			log, mres, err := core.RecordInstrumented(prog, s.Config(), reg)
+				if reg != nil {
+					if err := runNative(prog, s.Config(), reg); err != nil {
+						return fmt.Errorf("native baseline: %w", err)
+					}
+				}
+				log, mres, err := core.RecordInstrumented(prog, s.Config(), reg)
+				if err != nil {
+					return fmt.Errorf("record: %w", err)
+				}
+				rec.log, rec.machine = log, mres
+				return nil
+			})
 			if err != nil {
-				return nil, fmt.Errorf("workloads: %s seed %d: %w", s.Name, s.Seed, err)
+				run.Quarantined = append(run.Quarantined, core.Quarantined{Index: slot, Label: label, Err: err})
+				reg.Counter("robust.quarantined").Inc()
+			} else {
+				recs = append(recs, rec)
 			}
-			recs = append(recs, recording{scenario: s, label: label, log: log, machine: mres})
+			slot++
 		}
 	}
 
-	// Offline half: replay, detect, and classify every log across the
-	// shared pool; results land in input order.
+	// Offline half: replay, detect, and classify every healthy log
+	// across the shared pool; results land in input order and bad logs
+	// land in quarantine without aborting the batch.
 	logs := make([]*trace.Log, len(recs))
 	for i := range recs {
 		logs[i] = recs[i].log
 	}
-	results, err := core.AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
+	results, quarantined := core.AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
 		return classify.Options{
 			Scenario: recs[i].label,
 			Seed:     recs[i].scenario.Seed,
 			DB:       opts.DB,
 		}
 	}, opts.Jobs, reg)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %w", err)
-	}
+	run.Quarantined = append(run.Quarantined, quarantined...)
 
-	run := &SuiteRun{}
-	parts := make([]*classify.Classification, len(results))
+	var parts []*classify.Classification
 	for i, res := range results {
+		if res == nil {
+			continue
+		}
 		res.Machine = recs[i].machine
 		run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: recs[i].scenario, Result: res})
-		parts[i] = res.Classification
+		parts = append(parts, res.Classification)
 	}
 	run.Merged = classify.Merge(parts...)
 	publishSuiteMetrics(reg, run)

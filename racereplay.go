@@ -64,6 +64,9 @@ type (
 	RaceResult = classify.RaceResult
 	// Result bundles one analyzed execution.
 	Result = core.Result
+	// Quarantined records one batch item whose analysis failed; the batch
+	// completes with partial results instead of aborting.
+	Quarantined = core.Quarantined
 	// DB is the persistent race database for the triage workflow.
 	DB = classify.DB
 	// SizeStats quantifies a log's footprint.
@@ -211,17 +214,20 @@ func AnalyzeLogInstrumented(log *Log, opts Options, reg *Metrics) (*Result, erro
 // AnalyzeLogs runs the offline pipeline over a batch of logs, fanning
 // the work across jobs workers (jobs < 1 means GOMAXPROCS). optsFor
 // supplies the i-th log's options; results come back in input order and
-// are identical to calling AnalyzeLog on each log serially.
-func AnalyzeLogs(logs []*Log, optsFor func(i int) Options, jobs int) ([]*Result, error) {
+// are identical to calling AnalyzeLog on each log serially. The batch
+// never aborts: a log that fails (or panics) leaves a nil result slot
+// and a Quarantined entry describing the failure.
+func AnalyzeLogs(logs []*Log, optsFor func(i int) Options, jobs int) ([]*Result, []Quarantined) {
 	return core.AnalyzeLogs(logs, optsFor, jobs)
 }
 
 // AnalyzeLogsInstrumented is AnalyzeLogs with stage metrics: worker
 // span trees are folded into reg in input order, so the merged ladder —
 // like the results — is byte-identical at every worker count. The pool
-// also publishes its sched.* metrics. A nil reg behaves exactly like
+// also publishes its sched.* metrics, and every quarantined item
+// increments robust.quarantined. A nil reg behaves exactly like
 // AnalyzeLogs.
-func AnalyzeLogsInstrumented(logs []*Log, optsFor func(i int) Options, jobs int, reg *Metrics) ([]*Result, error) {
+func AnalyzeLogsInstrumented(logs []*Log, optsFor func(i int) Options, jobs int, reg *Metrics) ([]*Result, []Quarantined) {
 	return core.AnalyzeLogsInstrumented(logs, optsFor, jobs, reg)
 }
 
@@ -240,6 +246,11 @@ func WriteLog(w io.Writer, log *Log) error { return trace.Write(w, log) }
 
 // ReadLog parses a log written by WriteLog.
 func ReadLog(r io.Reader) (*Log, error) { return trace.Read(r) }
+
+// ValidateLog checks a decoded log's structural invariants (thread IDs,
+// region endpoints, record indices). A non-nil error is a
+// *trace.ValidateError naming the failed check.
+func ValidateLog(log *Log) error { return trace.Validate(log) }
 
 // LogStats measures a log's serialized footprint (§5.1 metrics).
 func LogStats(log *Log) SizeStats { return trace.Stats(log) }
