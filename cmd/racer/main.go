@@ -78,6 +78,8 @@ func main() {
 		err = cmdScenario(args)
 	case "suite":
 		err = cmdSuite(args)
+	case "lint":
+		err = cmdLint(args)
 	case "record-suite":
 		err = cmdRecordSuite(args)
 	case "analyze-dir":
@@ -122,10 +124,17 @@ commands (flags come before the file argument):
   classify [-db FILE] [-race "A <-> B"] <LOG>
                                             classify races by dual-order replay
   scenario -name NAME [-db FILE]        analyze one built-in workload scenario
-  suite [-db FILE] [-seeds N] [-jobs N] analyze all 18 built-in scenarios
+  suite [-db FILE] [-seeds N] [-jobs N] [-static]
+                                        analyze all 18 built-in scenarios;
+                                        -static adds the ahead-of-execution
+                                        cross-validation section
+  lint <prog.rasm...> | lint -scenario NAME
+                                        static race analysis (no execution):
+                                        CFG + constant propagation + must-hold
+                                        locksets; any candidate exits 1
   record-suite -dir DIR [-seeds N] [-jobs N]
                                         record every scenario's log to DIR
-  analyze-dir -dir DIR [-db FILE] [-jobs N]
+  analyze-dir -dir DIR [-db FILE] [-jobs N] [-static]
                                         offline analysis over recorded logs
   validate <LOG...>                     decode + check logs without analyzing
   chaos [-corruptions N] [-seed S] [-log FILE]
@@ -423,6 +432,7 @@ func cmdSuite(args []string) error {
 	verbose := fs.Bool("v", false, "print a report for every race")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
+	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
@@ -431,7 +441,7 @@ func cmdSuite(args []string) error {
 	}
 	reg := metrics.registry()
 	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
-		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg,
+		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg, Static: *staticStage,
 	})
 	if err != nil {
 		return err
@@ -440,6 +450,10 @@ func cmdSuite(args []string) error {
 	fmt.Fprint(stdout, report.Summary(run.Merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(run.Merged, report.SuiteTruth).Render())
+	if *staticStage {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.BuildStaticSection(run).Render())
+	}
 	if *verbose {
 		fmt.Fprintln(stdout)
 		for _, r := range run.Merged.Races {
@@ -451,6 +465,52 @@ func cmdSuite(args []string) error {
 		raiseExit(1)
 	}
 	sp.End()
+	return metrics.emit(reg)
+}
+
+// cmdLint is the static half of the pipeline: analyze programs ahead of
+// any execution and report race candidates. Exit status follows the
+// detector contract — 1 when candidates are found, 0 when clean.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "lint a built-in workload scenario instead of a file")
+	metrics := addMetricsFlags(fs)
+	fs.Parse(args)
+	reg := metrics.registry()
+	var progs []*racereplay.Program
+	if *scenario != "" {
+		s, err := workloads.FindScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		prog, err := s.Program()
+		if err != nil {
+			return err
+		}
+		progs = append(progs, prog)
+	}
+	for _, path := range fs.Args() {
+		prog, err := loadProgram(path)
+		if err != nil {
+			return err
+		}
+		progs = append(progs, prog)
+	}
+	if len(progs) == 0 {
+		return fmt.Errorf("lint wants program files or -scenario NAME")
+	}
+	candidates := 0
+	for i, prog := range progs {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		rep := racereplay.AnalyzeStaticInstrumented(prog, reg)
+		rep.Format(stdout)
+		candidates += len(rep.Candidates)
+	}
+	if candidates > 0 {
+		raiseExit(1)
+	}
 	return metrics.emit(reg)
 }
 
@@ -571,6 +631,7 @@ func cmdAnalyzeDir(args []string) error {
 	dir := fs.String("dir", "logs", "directory of .rlog files")
 	dbPath := fs.String("db", "", "race database for suppression")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
+	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
@@ -622,11 +683,57 @@ func cmdAnalyzeDir(args []string) error {
 	fmt.Fprint(stdout, report.Summary(merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(merged, report.SuiteTruth).Render())
+	if *staticStage {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.StaticSection{Suite: staticOverDir(labels, results, reg)}.Render())
+	}
 	printQuarantine(quarantined)
 	if _, harmful := merged.CountByVerdict(); harmful > 0 {
 		raiseExit(1)
 	}
 	return metrics.emit(reg)
+}
+
+// staticOverDir runs the static cross-validation stage over analyze-dir
+// results. Log files from record-suite are named "<scenario>-<k>.rlog", so
+// results grouped by the label minus its "-<k>" suffix pool the dynamic
+// evidence of one program's seeds, exactly like the live suite; foreign
+// file names fall back to one group per file. Programs decoded from logs
+// carry no data-symbol table, so candidate cells render as hex addresses.
+func staticOverDir(labels []string, results []*racereplay.Result, reg *racereplay.Metrics) *workloads.SuiteStatic {
+	baseOf := func(label string) string {
+		base := strings.TrimSuffix(label, ".rlog")
+		if i := strings.LastIndexByte(base, '-'); i > 0 {
+			if _, err := fmt.Sscanf(base[i+1:], "%d", new(int)); err == nil {
+				return base[:i]
+			}
+		}
+		return base
+	}
+	byBase := map[string][]*racereplay.Result{}
+	var order []string
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		b := baseOf(labels[i])
+		if _, ok := byBase[b]; !ok {
+			order = append(order, b)
+		}
+		byBase[b] = append(byBase[b], res)
+	}
+	suite := &workloads.SuiteStatic{}
+	for _, b := range order {
+		group := byBase[b]
+		rep := racereplay.AnalyzeStaticInstrumented(group[0].Prog, reg)
+		cross := racereplay.CrossValidateStaticInstrumented(rep, reg, group...)
+		suite.Scenarios = append(suite.Scenarios, workloads.ScenarioStatic{Name: b, Report: rep, Cross: cross})
+		suite.Matched += cross.Matched
+		suite.Refuted += cross.Refuted
+		suite.Unmatched += cross.Unmatched
+		suite.Missed += len(cross.Missed)
+	}
+	return suite
 }
 
 // cmdValidate decodes and structurally checks logs without analyzing

@@ -21,7 +21,7 @@ type metricsOpts struct {
 func addMetricsFlags(fs *flag.FlagSet) *metricsOpts {
 	m := &metricsOpts{}
 	fs.Var((*metricsFormatFlag)(&m.format), "metrics",
-	"emit pipeline metrics: text (default), json, or prom")
+		"emit pipeline metrics: text (default), json, or prom")
 	fs.StringVar(&m.out, "metrics-out", "", "write metrics to this file instead of stdout")
 	return m
 }

@@ -1,13 +1,20 @@
-// Locksetcompare: the happens-before detector versus the Eraser-style
-// lockset baseline (§2.2.2 of the paper).
+// Locksetcompare: three detectors side by side — the static lint pass,
+// the Eraser-style lockset baseline, and the happens-before detector
+// with replay classification (§2.2.2 of the paper).
 //
-// The program is perfectly synchronized — the parent initializes shared
-// data before spawning, the child updates it, and the parent reads it
-// after join; a second pair of threads shares a counter under a lock.
-// The happens-before detector is silent (there is no race); the lockset
-// discipline checker still warns about the fork/join sharing because no
-// lock protects it — the classic lockset false positive the paper
-// contrasts against.
+// The first program is perfectly synchronized — the parent initializes
+// shared data before spawning, the child updates it, and the parent
+// reads it after join; a second pair of threads shares a counter under a
+// lock. The happens-before detector is silent (there is no race); the
+// lockset discipline checker still warns about the fork/join sharing
+// because no lock protects it — the classic lockset false positive the
+// paper contrasts against.
+//
+// The closing three-way table reruns the comparison per scenario,
+// adding two genuinely racy programs, so the blind spots line up in one
+// view: lockset over-reports disciplined fork/join sharing, the static
+// lint keeps ahead-of-execution candidates that only replay can
+// arbitrate, and HB+replay delivers the per-race verdict.
 package main
 
 import (
@@ -77,6 +84,90 @@ main:
   halt
 `
 
+// An unsynchronized shared counter: a real race the lockset checker and
+// the static lint both flag, and that replay classifies.
+const racySrc = `
+.entry main
+.word hits 0
+
+handler:
+  ldi r5, 6
+hloop:
+  ldi r2, hits
+  ld r3, [r2+0]
+  addi r3, r3, 1
+  st [r2+0], r3
+  sys sysnop
+  addi r5, r5, -1
+  bne r5, r0, hloop
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r1, handler
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, handler
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  halt
+`
+
+// Half-disciplined: one thread updates under the lock, the other
+// forgets it — the textbook case where all three detectors agree.
+const mixedSrc = `
+.entry main
+.word mu 0
+.word total 0
+
+locked:
+  ldi r5, 4
+lloop:
+  ldi r3, mu
+  lock [r3+0]
+  ldi r2, total
+  ld r4, [r2+0]
+  addi r4, r4, 2
+  st [r2+0], r4
+  unlock [r3+0]
+  addi r5, r5, -1
+  bne r5, r0, lloop
+  ldi r1, 0
+  sys exit
+
+sloppy:
+  ldi r5, 4
+sloop:
+  ldi r2, total
+  ld r4, [r2+0]
+  addi r4, r4, 2
+  st [r2+0], r4
+  sys sysnop
+  addi r5, r5, -1
+  bne r5, r0, sloop
+  ldi r1, 0
+  sys exit
+
+main:
+  ldi r1, locked
+  ldi r2, 0
+  sys spawn
+  mov r8, r1
+  ldi r1, sloppy
+  sys spawn
+  mov r9, r1
+  mov r1, r8
+  sys join
+  mov r1, r9
+  sys join
+  halt
+`
+
 func main() {
 	prog, err := racereplay.Assemble("lockset-demo", src)
 	if err != nil {
@@ -125,4 +216,38 @@ func main() {
 	fmt.Println("every warning is dismissed: the conflicting accesses are all ordered")
 	fmt.Println("by sequencers, so there is no race at all — exactly the filtering the")
 	fmt.Println("paper promises for lockset-based reports.")
+
+	// Three-way comparison: the same pipeline over three scenarios, with
+	// the ahead-of-execution lint joined in.
+	fmt.Println("\nthree-way comparison (static lint / lockset / HB+replay):")
+	fmt.Println("  scenario        static-cand  lockset-warn  hb-races  benign  harmful")
+	scenarios := []struct {
+		name string
+		src  string
+	}{
+		{"fork-join+lock", src},
+		{"racy-counter", racySrc},
+		{"mixed-lock", mixedSrc},
+	}
+	for _, sc := range scenarios {
+		p, err := racereplay.Assemble(sc.name, sc.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lint := racereplay.AnalyzeStatic(p)
+		res, err := racereplay.Analyze(p, racereplay.Config{Seed: 7}, racereplay.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		warns := racereplay.DetectRacesLockset(res.Exec)
+		benign, harmful := res.Classification.CountByVerdict()
+		fmt.Printf("  %-14s  %11d  %12d  %8d  %6d  %7d\n",
+			sc.name, len(lint.Candidates), len(warns.Warnings),
+			len(res.Races.Races), benign, harmful)
+	}
+	fmt.Println("\nreading the table: on the synchronized program the happens-before")
+	fmt.Println("detector is silent while lockset warns twice and the lint keeps one")
+	fmt.Println("over-approximate candidate (partial fork/join ordering is beyond a")
+	fmt.Println("static pass); on the racy programs all three fire, and only the")
+	fmt.Println("replay column says which races actually change program state.")
 }

@@ -254,6 +254,7 @@ func (a *assembler) directive(line string, lineNo int, pass1 bool) error {
 			return a.errf(lineNo, "duplicate data name %q", name)
 		}
 		a.data[name] = a.nextDat
+		a.prog.DataSyms[name] = a.nextDat
 		a.prog.Data[a.nextDat] = uint64(v)
 		a.nextDat++
 		return nil
@@ -279,6 +280,7 @@ func (a *assembler) directive(line string, lineNo int, pass1 bool) error {
 			return a.errf(lineNo, "duplicate data name %q", name)
 		}
 		a.data[name] = a.nextDat
+		a.prog.DataSyms[name] = a.nextDat
 		for i := int64(0); i < n; i++ {
 			a.prog.Data[a.nextDat] = 0
 			a.nextDat++

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/classify"
+	"repro/internal/hb"
+	"repro/internal/static"
+)
+
+// CollectEvidence condenses analyzed executions of one program into the
+// dynamic evidence the static cross-validator joins against: every site
+// that executed in any run, and every happens-before race with its
+// classifier verdict. Results from different seeds of the same program
+// merge; a race seen under any seed counts, and a potentially-harmful
+// verdict from any seed outranks a benign one (same stickiness the
+// classifier's own Merge applies).
+func CollectEvidence(results []*Result) static.DynamicEvidence {
+	ev := static.DynamicEvidence{
+		ObservedSites: map[string]bool{},
+		Races:         map[hb.SitePair]string{},
+	}
+	harmful := classify.PotentiallyHarmful.String()
+	record := func(sites hb.SitePair, verdict string) {
+		if prev, ok := ev.Races[sites]; !ok || (prev != harmful && verdict == harmful) {
+			ev.Races[sites] = verdict
+		}
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Exec != nil {
+			for _, region := range r.Exec.Regions {
+				for _, acc := range region.Accesses {
+					ev.ObservedSites[acc.Site(r.Exec.Prog)] = true
+				}
+			}
+		}
+		if r.Classification != nil {
+			for _, rr := range r.Classification.Races {
+				record(rr.Sites, rr.Verdict.String())
+			}
+		}
+		if r.Races != nil {
+			for _, race := range r.Races.Races {
+				record(race.Sites, "unclassified")
+			}
+		}
+	}
+	return ev
+}

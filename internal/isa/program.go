@@ -40,15 +40,40 @@ type Program struct {
 	Data    map[uint64]uint64 // initial contents of the data segment
 	Symbols map[string]int    // label -> instruction index
 	Sources []SourceLoc       // one per instruction; may be empty
+	// DataSyms maps .word/.space names to their data addresses. It is a
+	// source-level convenience (the static analyzer renders candidate
+	// addresses symbolically) and, like Sources, is not serialized into
+	// replay logs: programs decoded from a log fall back to hex addresses.
+	DataSyms map[string]uint64
 }
 
 // NewProgram returns an empty program with allocated maps.
 func NewProgram(name string) *Program {
 	return &Program{
-		Name:    name,
-		Data:    make(map[uint64]uint64),
-		Symbols: make(map[string]int),
+		Name:     name,
+		Data:     make(map[uint64]uint64),
+		Symbols:  make(map[string]int),
+		DataSyms: make(map[string]uint64),
 	}
+}
+
+// NameOfData returns a symbolic rendering of a data address: the nearest
+// data symbol at or below addr ("name" or "name+off"), or "" when the
+// program carries no data symbol covering it.
+func (p *Program) NameOfData(addr uint64) string {
+	bestName, bestAddr, found := "", uint64(0), false
+	for name, at := range p.DataSyms {
+		if at <= addr && (!found || at > bestAddr || (at == bestAddr && name < bestName)) {
+			bestName, bestAddr, found = name, at, true
+		}
+	}
+	if !found {
+		return ""
+	}
+	if addr == bestAddr {
+		return bestName
+	}
+	return fmt.Sprintf("%s+%d", bestName, addr-bestAddr)
 }
 
 // Validate checks structural invariants: every branch target lands inside

@@ -50,6 +50,12 @@ type Warning struct {
 	Site      string // access that emptied the candidate lockset
 	OtherSite string // an earlier access site to the same address from another thread
 	Write     bool
+	// Pos is the position of the warning access in the replayed schedule
+	// (a global access index across all regions). Warnings are reported
+	// in Pos order, so the first discipline violation of the execution
+	// always leads and the output is byte-stable across runs — a map
+	// iteration can never reorder it.
+	Pos uint64
 }
 
 // Report is the detector output.
@@ -96,6 +102,7 @@ func Detect(exec *replay.Execution) *Report {
 	states := make(map[uint64]*addrState)
 	var warnings []*Warning
 
+	pos := uint64(0)
 	for _, reg := range exec.Regions {
 		h := held[reg.TID]
 		if h == nil {
@@ -109,10 +116,11 @@ func Detect(exec *replay.Execution) *Report {
 			delete(h, reg.SyncAddr)
 		}
 		for _, acc := range reg.Accesses {
+			pos++
 			if acc.Atomic {
 				continue
 			}
-			visit(exec, states, &warnings, acc, h)
+			visit(exec, states, &warnings, acc, h, pos)
 		}
 	}
 
@@ -122,16 +130,18 @@ func Detect(exec *replay.Execution) *Report {
 			rep.Checked++
 		}
 	}
+	// Trace-position order: the first empty-intersection access of the
+	// execution reports first. (Addr breaks impossible ties defensively.)
 	sort.Slice(rep.Warnings, func(i, j int) bool {
-		if rep.Warnings[i].Addr != rep.Warnings[j].Addr {
-			return rep.Warnings[i].Addr < rep.Warnings[j].Addr
+		if rep.Warnings[i].Pos != rep.Warnings[j].Pos {
+			return rep.Warnings[i].Pos < rep.Warnings[j].Pos
 		}
-		return rep.Warnings[i].Site < rep.Warnings[j].Site
+		return rep.Warnings[i].Addr < rep.Warnings[j].Addr
 	})
 	return rep
 }
 
-func visit(exec *replay.Execution, states map[uint64]*addrState, warnings *[]*Warning, acc replay.Access, h lockSet) {
+func visit(exec *replay.Execution, states map[uint64]*addrState, warnings *[]*Warning, acc replay.Access, h lockSet, pos uint64) {
 	st := states[acc.Addr]
 	if st == nil {
 		st = &addrState{state: Virgin, firstTid: acc.TID}
@@ -170,6 +180,7 @@ func visit(exec *replay.Execution, states map[uint64]*addrState, warnings *[]*Wa
 			Site:      site,
 			OtherSite: st.lastSite,
 			Write:     acc.IsWrite,
+			Pos:       pos,
 		})
 	}
 	st.lastSite = site

@@ -19,16 +19,7 @@ func FuzzPipeline(f *testing.F) {
 	f.Add(int64(-3), int64(0), uint8(0b10101))
 	f.Fuzz(func(t *testing.T, genSeed, schedSeed int64, cfgBits uint8) {
 		r := rand.New(rand.NewSource(genSeed))
-		cfg := Config{
-			Workers:   1 + int(cfgBits&3),
-			Globals:   1 + int((cfgBits>>2)&3),
-			Blocks:    1 + int((cfgBits>>4)&1),
-			MaxIters:  1 + r.Intn(6),
-			UseLocks:  cfgBits&(1<<5) != 0,
-			UseAtomic: cfgBits&(1<<6) != 0,
-			UseRMW:    cfgBits&(1<<7) != 0,
-			UseSysnop: true,
-		}
+		cfg := BitsConfig(cfgBits, r)
 		src := Generate(r, cfg)
 		prog, err := asm.Assemble("fz", src)
 		if err != nil {

@@ -45,6 +45,23 @@ func Random(r *rand.Rand) Config {
 	}
 }
 
+// BitsConfig decodes a fuzzer-controlled byte into a Config, drawing the
+// loop bound from r. It is the shared shape-encoding of the pipeline and
+// static-analyzer fuzz targets, so a crashing input found by one can be
+// replayed against the other.
+func BitsConfig(bits uint8, r *rand.Rand) Config {
+	return Config{
+		Workers:   1 + int(bits&3),
+		Globals:   1 + int((bits>>2)&3),
+		Blocks:    1 + int((bits>>4)&1),
+		MaxIters:  1 + r.Intn(6),
+		UseLocks:  bits&(1<<5) != 0,
+		UseAtomic: bits&(1<<6) != 0,
+		UseRMW:    bits&(1<<7) != 0,
+		UseSysnop: true,
+	}
+}
+
 // Generate emits assembly for a random program under cfg, deterministic
 // in r's state.
 func Generate(r *rand.Rand, cfg Config) string {

@@ -1,0 +1,497 @@
+package static
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// accKind classifies a data access.
+type accKind uint8
+
+const (
+	accRead accKind = iota
+	accWrite
+	accRMW // non-atomic read-modify-write (orm/andm/xorm/addm)
+)
+
+func (k accKind) writes() bool { return k != accRead }
+
+func (k accKind) String() string {
+	switch k {
+	case accRead:
+		return "read"
+	case accWrite:
+		return "write"
+	}
+	return "rmw"
+}
+
+// access is one statically discovered data access under one thread entry.
+// The same pc yields one record per entry that reaches it (a helper
+// called from two entries is two records).
+type access struct {
+	pc          int
+	entryPC     int
+	entryLabel  string
+	kind        accKind
+	op          isa.Op
+	key         addrKey
+	locks       []addrKey // sorted must-hold lockset at the access
+	stored      value     // accWrite: abstract stored value
+	feedsBranch bool      // accRead: loaded register feeds a cond branch
+	inCycle     bool      // access sits in a CFG cycle
+}
+
+// entryInfo is one discovered thread entry: the root (thread 0) plus every
+// pc the spawn-site constant propagation resolves.
+type entryInfo struct {
+	pc       int
+	label    string
+	isRoot   bool
+	arg      value        // join of r2 across all spawn sites
+	sites    map[int]bool // pcs of the sys spawn instructions targeting it
+	loopSite bool         // some spawn site sits in a cycle
+}
+
+// mult is the number of concurrent instances the entry may have: an entry
+// spawned from k static sites runs k times, a looped spawn site unbounded
+// times. Two or more instances allow an access to race with itself.
+func (e *entryInfo) mult() int {
+	m := len(e.sites)
+	if e.isRoot {
+		m++
+	}
+	if e.loopSite {
+		m = 2 + len(e.sites)
+	}
+	return m
+}
+
+// spawnRec is one spawn observation from the collection pass.
+type spawnRec struct {
+	pc          int
+	byEntry     int
+	target, arg value
+}
+
+// collect runs the whole-program analysis: entry discovery to fixpoint,
+// then per-entry access collection, heap-escape resolution, and the
+// spawn/join ordering filter for root accesses. It fills in the report's
+// Entries and Stats and returns the shared-access candidate pool.
+func collect(p *isa.Program, rep *Report) ([]access, func(int) int) {
+	entries := map[int]*entryInfo{
+		p.Entry: {pc: p.Entry, label: entryLabel(p, p.Entry), isRoot: true, arg: bot, sites: map[int]bool{}},
+	}
+
+	var (
+		c        *cfg
+		accesses []access
+		spawns   []spawnRec
+		unkAddr  int
+		privAddr int
+	)
+
+	// Outer fixpoint: each round rebuilds the CFG with every known entry
+	// as a block leader, re-analyzes every entry, and folds newly
+	// resolved spawn sites back in. Entry pcs, site sets, and argument
+	// values all climb finite lattices, so this converges; the iteration
+	// cap is a belt-and-braces bound for fuzzed inputs.
+	for round := 0; round < len(p.Code)+2; round++ {
+		entryPCs := make([]int, 0, len(entries))
+		for pc := range entries {
+			entryPCs = append(entryPCs, pc)
+		}
+		sort.Ints(entryPCs)
+		c = buildCFG(p, entryPCs)
+
+		accesses = accesses[:0]
+		spawns = spawns[:0]
+		unkAddr, privAddr = 0, 0
+		a := &analysis{prog: p, cfg: c}
+		for _, epc := range entryPCs {
+			e := entries[epc]
+			init := newState()
+			if !e.isRoot {
+				arg := e.arg
+				if arg.kind == vBot {
+					arg = top
+				}
+				init.set(1, arg)
+			}
+			v := &visitor{
+				access: func(pc int, st *state, key addrKey, private bool, kind accKind, op isa.Op, stored value) {
+					if private {
+						privAddr++
+						return
+					}
+					if key.kind == akNone {
+						unkAddr++
+						return
+					}
+					acc := access{
+						pc:         pc,
+						entryPC:    e.pc,
+						entryLabel: e.label,
+						kind:       kind,
+						op:         op,
+						key:        key,
+						locks:      sortedLocks(st.locks),
+						stored:     stored,
+						inCycle:    c.blocks[c.blockOf[pc]].inCycle,
+					}
+					if kind == accRead {
+						acc.feedsBranch = loadFeedsBranch(p, c, pc)
+					}
+					accesses = append(accesses, acc)
+				},
+				spawn: func(pc int, target, arg value) {
+					spawns = append(spawns, spawnRec{pc: pc, byEntry: e.pc, target: target, arg: arg})
+				},
+			}
+			a.runEntry(e.pc, init, v)
+		}
+
+		changed := false
+		for _, s := range spawns {
+			if s.target.kind != vConst || s.target.c < 0 || s.target.c >= int64(len(p.Code)) {
+				continue
+			}
+			tpc := int(s.target.c)
+			e := entries[tpc]
+			if e == nil {
+				e = &entryInfo{pc: tpc, label: entryLabel(p, tpc), arg: bot, sites: map[int]bool{}}
+				entries[tpc] = e
+				changed = true
+			}
+			if !e.sites[s.pc] {
+				e.sites[s.pc] = true
+				changed = true
+			}
+			if arg := join(e.arg, s.arg); arg != e.arg {
+				e.arg = arg
+				changed = true
+			}
+			if c.blocks[c.blockOf[s.pc]].inCycle && !e.loopSite {
+				e.loopSite = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	rep.Stats.Instrs = len(p.Code)
+	rep.Stats.Blocks = len(c.blocks)
+	rep.Stats.SkippedUnknown = unkAddr
+	rep.Stats.SkippedPrivate = privAddr
+	for _, b := range c.blocks {
+		if op := p.Code[b.end-1].Op; op == isa.OpJmpr {
+			rep.Stats.UnresolvedJumps++
+		}
+	}
+	for _, s := range spawns {
+		if s.target.kind != vConst || s.target.c < 0 || s.target.c >= int64(len(p.Code)) {
+			rep.Stats.UnresolvedSpawns++
+		}
+	}
+
+	entryPCs := make([]int, 0, len(entries))
+	for pc := range entries {
+		entryPCs = append(entryPCs, pc)
+	}
+	sort.Ints(entryPCs)
+	for _, pc := range entryPCs {
+		e := entries[pc]
+		rep.Entries = append(rep.Entries, Entry{
+			Label: e.label, PC: e.pc, Root: e.isRoot,
+			SpawnSites: len(e.sites), Looped: e.loopSite,
+		})
+	}
+
+	accesses = resolveHeapEscapes(accesses, &rep.Stats)
+	accesses = filterOrdered(p, entries, spawns, accesses, &rep.Stats)
+	rep.Stats.Accesses = len(accesses)
+	multOf := func(entryPC int) int {
+		if e := entries[entryPC]; e != nil {
+			return e.mult()
+		}
+		return 1
+	}
+	return accesses, multOf
+}
+
+// entryLabel names an entry pc by its (smallest) symbol, falling back to
+// the raw pc for decoded or synthetic programs.
+func entryLabel(p *isa.Program, pc int) string {
+	best := ""
+	for name, at := range p.Symbols {
+		if at == pc && (best == "" || name < best) {
+			best = name
+		}
+	}
+	if best != "" {
+		return best
+	}
+	return p.SiteOf(pc)
+}
+
+func sortedLocks(locks map[addrKey]bool) []addrKey {
+	out := make([]addrKey, 0, len(locks))
+	for k := range locks {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.base != b.base {
+			return a.base < b.base
+		}
+		return a.off < b.off
+	})
+	return out
+}
+
+// loadFeedsBranch reports whether the value loaded at pc directly feeds a
+// conditional branch in the same basic block (the flag-check shape of
+// user-constructed synchronization and double-checks) before the register
+// is overwritten.
+func loadFeedsBranch(p *isa.Program, c *cfg, pc int) bool {
+	rd := p.Code[pc].Rd
+	if rd == isa.Zero {
+		return false
+	}
+	b := c.blocks[c.blockOf[pc]]
+	for i := pc + 1; i < b.end; i++ {
+		ins := p.Code[i]
+		if ins.Op.IsCondBranch() && (ins.Rs1 == rd || ins.Rs2 == rd) {
+			return true
+		}
+		if writesReg(ins, rd) {
+			return false
+		}
+	}
+	return false
+}
+
+// writesReg reports whether ins overwrites register r.
+func writesReg(ins isa.Instr, r uint8) bool {
+	switch ins.Op {
+	case isa.OpLdi, isa.OpMov, isa.OpNot, isa.OpNeg,
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpAddi, isa.OpMuli, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpShli, isa.OpShri,
+		isa.OpLd, isa.OpCas, isa.OpXadd, isa.OpXchg:
+		return ins.Rd == r
+	case isa.OpSys:
+		return r == 1
+	}
+	return false
+}
+
+// resolveHeapEscapes rewrites accesses through freshly allocated pointers
+// (akHeap keys) into Deref keys when the pointer escapes to a concrete
+// global cell: "alloc once, publish via a global" is how every shared
+// heap object in the corpus is built. A heap pointer that never escapes
+// is thread-private and its accesses are dropped.
+func resolveHeapEscapes(accesses []access, stats *Stats) []access {
+	// site -> set of concrete cells the base pointer was stored to.
+	links := map[uint64]map[uint64]bool{}
+	for _, a := range accesses {
+		if a.kind != accRead && a.stored.kind == vHeap && a.stored.c == 0 && a.key.kind == akConcrete {
+			set := links[uint64(a.stored.site)]
+			if set == nil {
+				set = map[uint64]bool{}
+				links[uint64(a.stored.site)] = set
+			}
+			set[a.key.base] = true
+		}
+	}
+	out := accesses[:0]
+	for _, a := range accesses {
+		if a.key.kind != akHeap {
+			out = append(out, a)
+			continue
+		}
+		set := links[a.key.base]
+		if len(set) == 0 {
+			stats.SkippedPrivate++
+			continue
+		}
+		bases := make([]uint64, 0, len(set))
+		for b := range set {
+			bases = append(bases, b)
+		}
+		sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+		for _, base := range bases {
+			dup := a
+			dup.key = addrKey{kind: akDeref, base: base, off: a.key.off}
+			out = append(out, dup)
+		}
+	}
+	return out
+}
+
+// filterOrdered drops root-entry accesses that are ordered against every
+// spawned thread by program structure: accesses no path reaches after a
+// spawn (thread-creation edge), and accesses every path reaches only
+// after as many joins as there are spawn sites (join edges). Both tests
+// approximate in the keep-the-access direction, so the filter removes
+// false positives without ever hiding a candidate.
+func filterOrdered(p *isa.Program, entries map[int]*entryInfo, spawns []spawnRec, accesses []access, stats *Stats) []access {
+	root := entries[p.Entry]
+	if root == nil || len(root.sites) > 0 {
+		// The root entry is itself spawned: all its accesses are
+		// concurrent and nothing can be filtered.
+		return accesses
+	}
+	var rootSpawnNext []int
+	totalSites := 0
+	joinFilter := true
+	for _, s := range spawns {
+		if s.target.kind != vConst {
+			joinFilter = false // unknown thread population
+			continue
+		}
+		totalSites++
+		if s.byEntry == p.Entry {
+			if _, succs := pcSuccs(p, s.pc); len(succs) > 0 {
+				rootSpawnNext = append(rootSpawnNext, succs...)
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.loopSite {
+			joinFilter = false // unbounded thread population
+		}
+	}
+	postSpawn := reachablePCs(p, rootSpawnNext)
+	minJoins := minJoinsFrom(p, p.Entry)
+
+	out := accesses[:0]
+	for _, a := range accesses {
+		if a.entryPC == p.Entry {
+			ordered := !postSpawn[a.pc] ||
+				(joinFilter && totalSites > 0 && minJoins[a.pc] >= totalSites)
+			if ordered {
+				stats.FilteredOrdered++
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// pair enumerates candidate pairs over the shared-access pool: distinct
+// entries (or one multi-instance entry), equal abstract cells, at least
+// one write, and disjoint must-hold locksets.
+func pair(p *isa.Program, accesses []access, multOf func(int) int) []Candidate {
+	seen := map[[2]string]bool{}
+	var out []Candidate
+	for i := 0; i < len(accesses); i++ {
+		for j := i; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if i == j {
+				// A single access races with itself only when its entry
+				// has concurrent instances and it writes.
+				if multOf(a.entryPC) < 2 || !a.kind.writes() {
+					continue
+				}
+			} else {
+				if a.entryPC == b.entryPC && multOf(a.entryPC) < 2 {
+					continue // same single-instance thread: sequential
+				}
+				if !a.kind.writes() && !b.kind.writes() {
+					continue
+				}
+				if a.key != b.key {
+					continue
+				}
+			}
+			if locksIntersect(a.locks, b.locks) {
+				continue
+			}
+			sa, sb := p.SiteOf(a.pc), p.SiteOf(b.pc)
+			if sb < sa {
+				sa, sb = sb, sa
+				a, b = b, a
+			}
+			if seen[[2]string{sa, sb}] {
+				continue
+			}
+			seen[[2]string{sa, sb}] = true
+			out = append(out, Candidate{
+				SiteA: sa, SiteB: sb,
+				EntryA: a.entryLabel, EntryB: b.entryLabel,
+				KindA: a.kind.String(), KindB: b.kind.String(),
+				Addr:   a.key.render(p),
+				LocksA: renderLocks(p, a.locks),
+				LocksB: renderLocks(p, b.locks),
+				Hint:   hintFor(a, b),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SiteA != out[j].SiteA {
+			return out[i].SiteA < out[j].SiteA
+		}
+		return out[i].SiteB < out[j].SiteB
+	})
+	return out
+}
+
+func locksIntersect(a, b []addrKey) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func renderLocks(p *isa.Program, locks []addrKey) []string {
+	out := make([]string, len(locks))
+	for i, k := range locks {
+		out[i] = k.render(p)
+	}
+	return out
+}
+
+// hintFor tags a candidate with the benign idiom it resembles, mirroring
+// the categories of the paper's Table 2. A hint is a triage aid, not a
+// verdict: the dynamic classifier stays the source of truth.
+func hintFor(a, b access) Hint {
+	statsShaped := func(x access) bool {
+		if x.op == isa.OpAddm {
+			return true
+		}
+		return x.kind == accWrite && x.stored.kind == vLoaded &&
+			x.stored.key == x.key && x.stored.c != 0
+	}
+	bitShaped := func(x access) bool {
+		return x.op == isa.OpOrm || x.op == isa.OpAndm || x.op == isa.OpXorm
+	}
+	syncRead := func(x access) bool { return x.kind == accRead && x.feedsBranch && x.inCycle }
+	checkRead := func(x access) bool { return x.kind == accRead && x.feedsBranch }
+	switch {
+	case statsShaped(a) || statsShaped(b):
+		return HintStatsCounter
+	case a.kind == accWrite && b.kind == accWrite &&
+		a.stored.kind == vConst && b.stored.kind == vConst && a.stored.c == b.stored.c:
+		return HintRedundantWrite
+	case bitShaped(a) && bitShaped(b):
+		return HintDisjointBits
+	case syncRead(a) || syncRead(b):
+		return HintUserSync
+	case checkRead(a) || checkRead(b):
+		return HintDoubleCheck
+	}
+	return HintNone
+}

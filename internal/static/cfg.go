@@ -1,0 +1,235 @@
+package static
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// block is one basic block: the half-open instruction range [start, end)
+// with its control-flow successors.
+type block struct {
+	id      int
+	start   int
+	end     int
+	succs   []int // successor block ids, sorted
+	inCycle bool  // block can reach itself (loop body)
+}
+
+// cfg is the whole-program control-flow graph. Thread entries share it:
+// the dataflow walks each entry's reachable subgraph with its own state,
+// so a helper called from two entries is analyzed once per entry.
+type cfg struct {
+	prog    *isa.Program
+	blocks  []*block
+	blockOf []int // pc -> block id
+}
+
+// isTerminator reports whether the instruction at pc ends its block, and
+// returns the pc-granular successors (used both for block construction
+// and for the ordering filters in candidates.go).
+func pcSuccs(p *isa.Program, pc int) (term bool, succs []int) {
+	ins := p.Code[pc]
+	in := func(t int64) bool { return t >= 0 && t < int64(len(p.Code)) }
+	switch {
+	case ins.Op == isa.OpHalt:
+		return true, nil
+	case ins.Op == isa.OpSys && ins.Imm == isa.SysExit:
+		return true, nil
+	case ins.Op.IsCondBranch():
+		if in(ins.Imm) {
+			succs = append(succs, int(ins.Imm))
+		}
+		if pc+1 < len(p.Code) {
+			succs = append(succs, pc+1)
+		}
+		return true, succs
+	case ins.Op == isa.OpJmp:
+		if in(ins.Imm) {
+			succs = append(succs, int(ins.Imm))
+		}
+		return true, succs
+	case ins.Op == isa.OpCall:
+		// Both the callee and the return point: overapproximates paths
+		// (a "call skips straight to return" path exists in the graph),
+		// which is the safe direction for the reachability filters.
+		if in(ins.Imm) {
+			succs = append(succs, int(ins.Imm))
+		}
+		if pc+1 < len(p.Code) {
+			succs = append(succs, pc+1)
+		}
+		return true, succs
+	case ins.Op == isa.OpJmpr, ins.Op == isa.OpRet:
+		// Indirect target / return address: not tracked at the pc level.
+		// Ret is handled by the call edge above; jmpr is counted as an
+		// unresolved edge by the analyzer.
+		return true, nil
+	}
+	if pc+1 < len(p.Code) {
+		return false, []int{pc + 1}
+	}
+	return true, nil
+}
+
+// buildCFG splits the program into basic blocks. Leaders are the program
+// entry, every symbol target, every static branch/jump/call target, every
+// instruction after a terminator, and the extra pcs the caller supplies
+// (spawn-resolved thread entries, which need not sit on a label).
+func buildCFG(p *isa.Program, extra []int) *cfg {
+	n := len(p.Code)
+	c := &cfg{prog: p, blockOf: make([]int, n)}
+	if n == 0 {
+		return c
+	}
+	leader := make([]bool, n)
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			leader[pc] = true
+		}
+	}
+	mark(0)
+	mark(p.Entry)
+	for _, at := range p.Symbols {
+		mark(at)
+	}
+	for _, at := range extra {
+		mark(at)
+	}
+	for pc := range p.Code {
+		term, succs := pcSuccs(p, pc)
+		if term {
+			mark(pc + 1)
+			for _, s := range succs {
+				mark(s)
+			}
+		}
+	}
+
+	// Carve blocks at leaders.
+	starts := make([]int, 0, 16)
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			starts = append(starts, pc)
+		}
+	}
+	for i, start := range starts {
+		end := n
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		b := &block{id: i, start: start, end: end}
+		c.blocks = append(c.blocks, b)
+		for pc := start; pc < end; pc++ {
+			c.blockOf[pc] = i
+		}
+	}
+
+	// Successor edges from each block's last instruction.
+	for _, b := range c.blocks {
+		last := b.end - 1
+		term, succs := pcSuccs(c.prog, last)
+		if !term {
+			succs = []int{b.end} // fallthrough into the next leader
+		}
+		seen := map[int]bool{}
+		for _, s := range succs {
+			if s < n && !seen[s] {
+				seen[s] = true
+				b.succs = append(b.succs, c.blockOf[s])
+			}
+		}
+		sort.Ints(b.succs)
+	}
+
+	c.markCycles()
+	return c
+}
+
+// markCycles sets inCycle on every block that belongs to a nontrivial
+// strongly connected component (or that loops directly on itself): the
+// spin-wait shape the UserSync hint keys on.
+func (c *cfg) markCycles() {
+	n := len(c.blocks)
+	if n == 0 {
+		return
+	}
+	// Tiny graphs: per-block BFS "can I reach myself" is plenty fast and
+	// avoids an SCC implementation.
+	for _, b := range c.blocks {
+		seen := make([]bool, n)
+		queue := append([]int(nil), b.succs...)
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if x == b.id {
+				b.inCycle = true
+				break
+			}
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			queue = append(queue, c.blocks[x].succs...)
+		}
+	}
+}
+
+// reachablePCs runs a pc-granular BFS from the given seed pcs, following
+// pcSuccs edges, and returns the reached set (including the seeds).
+func reachablePCs(p *isa.Program, seeds []int) []bool {
+	reached := make([]bool, len(p.Code))
+	queue := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < len(p.Code) && !reached[s] {
+			reached[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		_, succs := pcSuccs(p, pc)
+		for _, s := range succs {
+			if !reached[s] {
+				reached[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return reached
+}
+
+// minJoinsFrom computes, per pc, the minimum number of "sys join"
+// instructions executed along any path from start to that pc. The meet is
+// min over paths, so the result underapproximates joins — the safe
+// direction for the post-join ordering filter (filter less, never more).
+func minJoinsFrom(p *isa.Program, start int) []int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, len(p.Code))
+	for i := range dist {
+		dist[i] = inf
+	}
+	if start < 0 || start >= len(p.Code) {
+		return dist
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		d := dist[pc]
+		ins := p.Code[pc]
+		if ins.Op == isa.OpSys && ins.Imm == isa.SysJoin {
+			d++
+		}
+		_, succs := pcSuccs(p, pc)
+		for _, s := range succs {
+			if d < dist[s] {
+				dist[s] = d
+				queue = append(queue, s)
+			}
+		}
+	}
+	return dist
+}

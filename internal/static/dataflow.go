@@ -1,0 +1,251 @@
+package static
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// state is the abstract machine state at a program point: one abstract
+// value per register plus the must-hold lockset. The lockset is the set
+// of lock cells held on *every* path reaching the point, so merges
+// intersect (classic Eraser-style must analysis).
+type state struct {
+	live  bool
+	regs  [isa.NumRegs]value
+	locks map[addrKey]bool
+}
+
+func newState() *state {
+	s := &state{live: true, locks: map[addrKey]bool{}}
+	for i := range s.regs {
+		s.regs[i] = zero
+	}
+	s.regs[isa.SP] = value{kind: vStack}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := *s
+	c.locks = make(map[addrKey]bool, len(s.locks))
+	for k := range s.locks {
+		c.locks[k] = true
+	}
+	return &c
+}
+
+// set writes a register, keeping r0 hardwired to zero.
+func (s *state) set(r uint8, v value) {
+	if r != isa.Zero {
+		s.regs[r] = v
+	}
+}
+
+// mergeInto joins src into dst (register join, lockset intersection) and
+// reports whether dst changed — the worklist's fixpoint test.
+func mergeInto(dst, src *state) bool {
+	if !dst.live {
+		*dst = *src.clone()
+		return true
+	}
+	changed := false
+	for i := range dst.regs {
+		j := join(dst.regs[i], src.regs[i])
+		if j != dst.regs[i] {
+			dst.regs[i] = j
+			changed = true
+		}
+	}
+	for k := range dst.locks {
+		if !src.locks[k] {
+			delete(dst.locks, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// havocRegs models the register state after returning from a call: the
+// RVM has no callee-save convention, so everything except r0 and the
+// (balanced) stack pointer is unknown. The lockset survives: callees are
+// assumed lock-balanced (documented caveat in docs/STATIC.md).
+func havocRegs(s *state) *state {
+	h := s.clone()
+	for i := range h.regs {
+		h.regs[i] = top
+	}
+	h.regs[isa.Zero] = zero
+	h.regs[isa.SP] = value{kind: vStack}
+	return h
+}
+
+// visitor observes the collection pass: one callback per data access and
+// one per spawn site. Nil callbacks are skipped.
+type visitor struct {
+	access func(pc int, st *state, key addrKey, private bool, kind accKind, op isa.Op, stored value)
+	spawn  func(pc int, target, arg value)
+}
+
+// step executes one instruction abstractly, mutating st in place.
+// Control transfer is handled by the caller at block edges; step only
+// models the data effect.
+func (a *analysis) step(st *state, pc int, v *visitor) {
+	ins := a.prog.Code[pc]
+	switch ins.Op {
+	case isa.OpLdi:
+		st.set(ins.Rd, con(ins.Imm))
+	case isa.OpMov:
+		st.set(ins.Rd, st.regs[ins.Rs1])
+	case isa.OpNot:
+		if x := st.regs[ins.Rs1]; x.kind == vConst {
+			st.set(ins.Rd, con(^x.c))
+		} else {
+			st.set(ins.Rd, top)
+		}
+	case isa.OpNeg:
+		if x := st.regs[ins.Rs1]; x.kind == vConst {
+			st.set(ins.Rd, con(-x.c))
+		} else {
+			st.set(ins.Rd, top)
+		}
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr:
+		st.set(ins.Rd, binop(ins.Op, st.regs[ins.Rs1], st.regs[ins.Rs2]))
+	case isa.OpAddi, isa.OpMuli, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpShli, isa.OpShri:
+		st.set(ins.Rd, immop(ins.Op, st.regs[ins.Rs1], ins.Imm))
+
+	case isa.OpLd:
+		key, private := resolveAddr(st.regs[ins.Rs1], ins.Imm)
+		if v != nil && v.access != nil {
+			v.access(pc, st, key, private, accRead, ins.Op, bot)
+		}
+		if key.resolved() {
+			st.set(ins.Rd, value{kind: vLoaded, key: key})
+		} else {
+			st.set(ins.Rd, top)
+		}
+	case isa.OpSt:
+		key, private := resolveAddr(st.regs[ins.Rs1], ins.Imm)
+		if v != nil && v.access != nil {
+			v.access(pc, st, key, private, accWrite, ins.Op, st.regs[ins.Rs2])
+		}
+	case isa.OpOrm, isa.OpAndm, isa.OpXorm, isa.OpAddm:
+		key, private := resolveAddr(st.regs[ins.Rs1], ins.Imm)
+		if v != nil && v.access != nil {
+			v.access(pc, st, key, private, accRMW, ins.Op, st.regs[ins.Rs2])
+		}
+
+	case isa.OpCas, isa.OpXadd, isa.OpXchg:
+		// Lock-prefixed: synchronization, not a race candidate. The old
+		// value lands in rd.
+		st.set(ins.Rd, top)
+	case isa.OpLock:
+		if key, _ := resolveAddr(st.regs[ins.Rs1], ins.Imm); key.resolved() {
+			st.locks[key] = true
+		}
+		// An unresolvable lock adds nothing: must-hold stays an
+		// underapproximation, which can only add candidates, never hide
+		// one.
+	case isa.OpUnlock:
+		if key, _ := resolveAddr(st.regs[ins.Rs1], ins.Imm); key.resolved() {
+			delete(st.locks, key)
+		} else {
+			// Unknown release: any lock might be gone.
+			for k := range st.locks {
+				delete(st.locks, k)
+			}
+		}
+
+	case isa.OpSys:
+		switch ins.Imm {
+		case isa.SysAlloc:
+			st.set(1, value{kind: vHeap, site: pc})
+		case isa.SysSpawn:
+			if v != nil && v.spawn != nil {
+				v.spawn(pc, st.regs[1], st.regs[2])
+			}
+			st.set(1, top)
+		default:
+			st.set(1, top)
+		}
+	}
+	// Branches, call, ret, jmpr, fence, nop, halt: no register effect
+	// modeled here (call's register havoc is applied on the return edge).
+}
+
+// analysis carries the shared pieces of one Analyze run.
+type analysis struct {
+	prog *isa.Program
+	cfg  *cfg
+}
+
+// runEntry computes the block in-state fixpoint for one thread entry and
+// then replays each live block once through the visitor. The returned
+// map holds the in-state per reached block id.
+func (a *analysis) runEntry(entryPC int, init *state, v *visitor) map[int]*state {
+	in := map[int]*state{}
+	if entryPC < 0 || entryPC >= len(a.prog.Code) || len(a.cfg.blocks) == 0 {
+		return in
+	}
+	start := a.cfg.blockOf[entryPC]
+	in[start] = init.clone()
+	work := []int{start}
+	inWork := map[int]bool{start: true}
+	for len(work) > 0 {
+		bid := work[0]
+		work = work[1:]
+		inWork[bid] = false
+		b := a.cfg.blocks[bid]
+		st := in[bid].clone()
+		for pc := b.start; pc < b.end; pc++ {
+			a.step(st, pc, nil)
+		}
+		push := func(succ int, out *state) {
+			dst := in[succ]
+			if dst == nil {
+				dst = &state{}
+				in[succ] = dst
+			}
+			if mergeInto(dst, out) && !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+		last := b.end - 1
+		lastIns := a.prog.Code[last]
+		if lastIns.Op == isa.OpCall {
+			// Callee edge carries the caller state (argument registers
+			// flow in); the return edge havocs registers.
+			if t := lastIns.Imm; t >= 0 && t < int64(len(a.prog.Code)) {
+				push(a.cfg.blockOf[t], st)
+			}
+			if last+1 < len(a.prog.Code) {
+				push(a.cfg.blockOf[last+1], havocRegs(st))
+			}
+			continue
+		}
+		for _, succ := range b.succs {
+			push(succ, st)
+		}
+	}
+
+	if v != nil {
+		bids := make([]int, 0, len(in))
+		for bid := range in {
+			bids = append(bids, bid)
+		}
+		sort.Ints(bids)
+		for _, bid := range bids {
+			if !in[bid].live {
+				continue
+			}
+			st := in[bid].clone()
+			b := a.cfg.blocks[bid]
+			for pc := b.start; pc < b.end; pc++ {
+				a.step(st, pc, v)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,224 @@
+package static
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// addrKind discriminates the identity of an abstract memory cell.
+type addrKind uint8
+
+const (
+	akNone     addrKind = iota // unresolved / not a memory cell
+	akConcrete                 // absolute word address (data segment)
+	akDeref                    // *mem[base] + off: one level of indirection
+	akHeap                     // offset into the block allocated at pc base
+)
+
+// addrKey names an abstract memory cell. Two accesses may alias exactly
+// when their keys are equal: Concrete cells by address, Deref cells by
+// (root cell, offset) — the analyzer assumes a root cell holds one pointer
+// value, which matches the escape idiom (alloc once, publish via a global).
+// Deeper indirection chains collapse to akNone and are skipped (counted in
+// Stats.SkippedUnknown); docs/STATIC.md lists this as a soundness caveat.
+type addrKey struct {
+	kind addrKind
+	base uint64 // akConcrete: address; akDeref: root cell address; akHeap: alloc pc
+	off  int64  // akDeref/akHeap: word offset from the pointer
+}
+
+func (k addrKey) resolved() bool { return k.kind == akConcrete || k.kind == akDeref }
+
+// render gives the human-readable form of a key, symbolic when the
+// program still carries its data-symbol table (programs decoded from a
+// replay log do not, and fall back to hex).
+func (k addrKey) render(p *isa.Program) string {
+	name := func(addr uint64) string {
+		if s := p.NameOfData(addr); s != "" {
+			return s
+		}
+		return fmt.Sprintf("0x%x", addr)
+	}
+	switch k.kind {
+	case akConcrete:
+		return name(k.base)
+	case akDeref:
+		if k.off == 0 {
+			return "*" + name(k.base)
+		}
+		return fmt.Sprintf("*%s+%d", name(k.base), k.off)
+	case akHeap:
+		return fmt.Sprintf("heap@pc%d+%d", k.base, k.off)
+	}
+	return "?"
+}
+
+// vKind discriminates the abstract value lattice:
+//
+//	        vTop
+//	   /  |   |   \
+//	vConst vLoaded vHeap vStack
+//	   \  |   |   /
+//	        vBot
+//
+// Each register climbs the lattice at most twice (bot -> point -> top),
+// so the dataflow fixpoint terminates without widening.
+type vKind uint8
+
+const (
+	vBot    vKind = iota // unreached
+	vConst               // the constant c
+	vLoaded              // mem[key] + c, for the key's value at load time
+	vHeap                // pointer c words into the block allocated at pc site
+	vStack               // pointer into the thread's own stack
+	vTop                 // anything
+)
+
+// value is one abstract register value.
+type value struct {
+	kind vKind
+	c    int64   // vConst: the constant; vLoaded/vHeap: word delta
+	key  addrKey // vLoaded: source cell
+	site int     // vHeap: pc of the sys alloc
+}
+
+var (
+	top  = value{kind: vTop}
+	bot  = value{kind: vBot}
+	zero = value{kind: vConst, c: 0}
+)
+
+func con(c int64) value { return value{kind: vConst, c: c} }
+
+// join is the least upper bound of two abstract values.
+func join(a, b value) value {
+	if a.kind == vBot {
+		return b
+	}
+	if b.kind == vBot {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return top
+}
+
+// addConst folds "v + d", preserving pointer-shaped values.
+func addConst(v value, d int64) value {
+	switch v.kind {
+	case vConst:
+		return con(v.c + d)
+	case vLoaded:
+		return value{kind: vLoaded, c: v.c + d, key: v.key}
+	case vHeap:
+		return value{kind: vHeap, c: v.c + d, site: v.site}
+	case vStack:
+		return value{kind: vStack}
+	}
+	return top
+}
+
+// binop evaluates a three-register ALU op abstractly. Only constant
+// folding and pointer+offset shapes are tracked; everything else is top.
+func binop(op isa.Op, a, b value) value {
+	if op == isa.OpAdd {
+		if a.kind == vConst {
+			return addConst(b, a.c)
+		}
+		if b.kind == vConst {
+			return addConst(a, b.c)
+		}
+		return top
+	}
+	if op == isa.OpSub && b.kind == vConst {
+		return addConst(a, -b.c)
+	}
+	if a.kind != vConst || b.kind != vConst {
+		return top
+	}
+	x, y := a.c, b.c
+	switch op {
+	case isa.OpSub:
+		return con(x - y)
+	case isa.OpMul:
+		return con(x * y)
+	case isa.OpDiv:
+		if y == 0 {
+			return top // faults at runtime; value never observed
+		}
+		return con(x / y)
+	case isa.OpMod:
+		if y == 0 {
+			return top
+		}
+		return con(x % y)
+	case isa.OpAnd:
+		return con(x & y)
+	case isa.OpOr:
+		return con(x | y)
+	case isa.OpXor:
+		return con(x ^ y)
+	case isa.OpShl:
+		return con(int64(uint64(x) << (uint64(y) & 63)))
+	case isa.OpShr:
+		return con(int64(uint64(x) >> (uint64(y) & 63)))
+	}
+	return top
+}
+
+// immop evaluates an immediate ALU op abstractly.
+func immop(op isa.Op, a value, imm int64) value {
+	switch op {
+	case isa.OpAddi:
+		return addConst(a, imm)
+	case isa.OpMuli, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri:
+		if a.kind != vConst {
+			return top
+		}
+		x := a.c
+		switch op {
+		case isa.OpMuli:
+			return con(x * imm)
+		case isa.OpAndi:
+			return con(x & imm)
+		case isa.OpOri:
+			return con(x | imm)
+		case isa.OpXori:
+			return con(x ^ imm)
+		case isa.OpShli:
+			return con(int64(uint64(x) << (uint64(imm) & 63)))
+		case isa.OpShri:
+			return con(int64(uint64(x) >> (uint64(imm) & 63)))
+		}
+	}
+	return top
+}
+
+// resolveAddr turns "base register + imm" into an abstract cell key.
+// The boolean distinguishes "statically private, skip quietly" (stack,
+// unescaped heap handled later, guard page) from "unknown, count it".
+func resolveAddr(base value, imm int64) (key addrKey, private bool) {
+	switch base.kind {
+	case vConst:
+		addr := uint64(base.c + imm)
+		if addr < isa.NullGuardTop {
+			return addrKey{}, true // faults at runtime; never a shared access
+		}
+		if addr >= isa.StackBase {
+			return addrKey{}, true // some thread's stack: private by construction
+		}
+		return addrKey{kind: akConcrete, base: addr}, false
+	case vLoaded:
+		if base.key.kind == akConcrete {
+			return addrKey{kind: akDeref, base: base.key.base, off: base.c + imm}, false
+		}
+		return addrKey{}, false // deeper indirection: unknown
+	case vHeap:
+		return addrKey{kind: akHeap, base: uint64(base.site), off: base.c + imm}, false
+	case vStack:
+		return addrKey{}, true
+	}
+	return addrKey{}, false
+}

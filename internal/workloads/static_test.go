@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// TestSuiteStaticZeroFalseNegatives runs the whole suite with the static
+// cross-validation stage and checks the analyzer's soundness contract on
+// the shipped workloads: every dynamic happens-before race is predicted
+// by a static candidate — zero static false negatives, the property the
+// zero-FN acceptance criterion pins suite-wide.
+func TestSuiteStaticZeroFalseNegatives(t *testing.T) {
+	run, err := RunSuiteOpts(SuiteOptions{Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Static == nil {
+		t.Fatal("suite run with Static option has no static stage")
+	}
+	if len(run.Static.Scenarios) != len(Scenarios()) {
+		t.Fatalf("static stage covered %d scenarios, want %d",
+			len(run.Static.Scenarios), len(Scenarios()))
+	}
+	for _, sc := range run.Static.Scenarios {
+		if sc.Cross == nil {
+			t.Errorf("%s: no cross-validation result", sc.Name)
+			continue
+		}
+		for _, m := range sc.Cross.Missed {
+			t.Errorf("%s: dynamic race with no static candidate (FN): %s [%s]",
+				sc.Name, m.Sites, m.Verdict)
+		}
+	}
+	if run.Static.Missed != 0 {
+		t.Errorf("suite missed total = %d, want 0", run.Static.Missed)
+	}
+	if run.Static.Matched == 0 {
+		t.Error("suite matched no candidates at all; the cross-validation is vacuous")
+	}
+}

@@ -28,6 +28,10 @@ type SuiteRun struct {
 	// healthy scenarios; quarantined items carry their label and error
 	// for the report's quarantine section.
 	Quarantined []core.Quarantined
+	// Static is the static cross-validation stage (nil unless
+	// SuiteOptions.Static was set): per-scenario lint reports joined
+	// against the dynamic evidence above.
+	Static *SuiteStatic
 }
 
 // SuiteOptions configures a suite analysis.
@@ -46,6 +50,10 @@ type SuiteOptions struct {
 	// "suite/native|record|replay|detect|classify" span ladder, every
 	// stage's counters, and the pool's sched.* metrics.
 	Registry *obs.Registry
+	// Static adds the static cross-validation stage: every base scenario
+	// is lint-analyzed ahead of execution and its candidates joined
+	// against the dynamic races and verdicts (SuiteRun.Static).
+	Static bool
 }
 
 // RunSuite records, replays, detects, and classifies every scenario, then
@@ -161,6 +169,9 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 		parts = append(parts, res.Classification)
 	}
 	run.Merged = classify.Merge(parts...)
+	if opts.Static {
+		run.Static = crossValidateSuite(run, opts.Jobs, reg)
+	}
 	publishSuiteMetrics(reg, run)
 	return run, nil
 }

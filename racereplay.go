@@ -37,6 +37,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/report"
+	"repro/internal/static"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -78,6 +79,15 @@ type (
 	// SuiteOptions configures a suite analysis: race database, seeds per
 	// scenario, analysis worker count, and metrics registry.
 	SuiteOptions = workloads.SuiteOptions
+	// StaticReport is the static analyzer's output for one program:
+	// thread entries, race candidates with benign-idiom hints, and skip
+	// counters for what the analysis had to give up on.
+	StaticReport = static.Report
+	// StaticCandidate is one static race candidate.
+	StaticCandidate = static.Candidate
+	// StaticCross joins static candidates against dynamic evidence
+	// (matched / refuted / unmatched, plus missed dynamic races).
+	StaticCross = static.CrossResult
 	// Metrics is the pipeline-wide observability registry: counters,
 	// gauges, histograms, and stage spans. Every instrumented entry point
 	// accepts a nil *Metrics and then costs nothing.
@@ -189,6 +199,33 @@ func Classify(exec *Execution, races *RaceSet, opts Options) *Classification {
 // cross-execution verdicts (the same race accumulates instances).
 func MergeClassifications(parts ...*Classification) *Classification {
 	return classify.Merge(parts...)
+}
+
+// AnalyzeStatic runs the ahead-of-execution race analyzer over a program:
+// per-thread-entry CFG, constant-propagation address resolution, must-hold
+// locksets, and benign-idiom hints. It executes nothing and never fails —
+// unanalyzable constructs degrade into the report's skip counters.
+func AnalyzeStatic(prog *Program) *StaticReport { return static.Analyze(prog) }
+
+// AnalyzeStaticInstrumented is AnalyzeStatic publishing static.* counters
+// into reg under a "static" span (nil reg behaves like AnalyzeStatic).
+func AnalyzeStaticInstrumented(prog *Program, reg *Metrics) *StaticReport {
+	return static.AnalyzeInstrumented(prog, reg)
+}
+
+// CrossValidateStatic joins a static report against the dynamic evidence
+// of one or more analyzed executions of the same program: candidates come
+// back matched (a dynamic race confirmed them), refuted (both sites ran,
+// no race), or unmatched (a site never executed), and dynamic races with
+// no candidate are listed as static false negatives.
+func CrossValidateStatic(rep *StaticReport, results ...*Result) *StaticCross {
+	return static.CrossValidate(rep, core.CollectEvidence(results))
+}
+
+// CrossValidateStaticInstrumented is CrossValidateStatic publishing the
+// static.matched/refuted/unmatched/missed counters into reg.
+func CrossValidateStaticInstrumented(rep *StaticReport, reg *Metrics, results ...*Result) *StaticCross {
+	return static.CrossValidateInstrumented(rep, core.CollectEvidence(results), reg)
 }
 
 // Analyze runs the whole pipeline: record, replay, detect, classify.
