@@ -17,6 +17,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/paperbench -bench-out BENCH_5.json
+	$(GO) run ./cmd/paperbench -check-bench BENCH_5.json
 
 paper:
 	$(GO) run ./cmd/paperbench

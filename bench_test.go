@@ -456,6 +456,45 @@ func BenchmarkParallelClassification(b *testing.B) {
 	}
 }
 
+// BenchmarkMemoizedClassification measures the dual-order replay stage
+// with the live-in fingerprint cache on and off, serial and fanned out —
+// the tentpole's before/after in one grid. Each iteration classifies
+// with a fresh per-Run cache (the Options zero value), so memo=on
+// measures the steady within-execution hit pattern, not an ever-warmer
+// cross-iteration cache. The hitrate metric reports the cache's hit
+// fraction for the same workload.
+func BenchmarkMemoizedClassification(b *testing.B) {
+	log := getBrowseLog(b)
+	exec, err := Replay(log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	races := DetectRaces(exec)
+	for _, memo := range []struct {
+		name   string
+		noMemo bool
+	}{{"memo=on", false}, {"memo=off", true}} {
+		for _, workers := range []int{1, 8} {
+			memo, workers := memo, workers
+			b.Run(fmt.Sprintf("%s/workers=%d", memo.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Classify(exec, races, Options{Parallel: workers, NoMemo: memo.noMemo})
+				}
+				b.StopTimer()
+				reg := NewMetrics()
+				Classify(exec, races, Options{Parallel: workers, NoMemo: memo.noMemo, Metrics: reg})
+				snap := reg.Snapshot()
+				h, m := snap.Counters["classify.memo.hits"], snap.Counters["classify.memo.misses"]
+				if h+m > 0 {
+					b.ReportMetric(float64(h)/float64(h+m), "hitrate")
+				} else {
+					b.ReportMetric(0, "hitrate")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkQuantumSensitivity varies the scheduler's preemption quantum:
 // finer preemption exposes more racy interleavings per recording — the
 // knob behind "extensively stress-tested build" in the paper's setup.

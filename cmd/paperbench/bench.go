@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workloads"
+
+	racereplay "repro"
+)
+
+// runBenchOut measures the performance-critical paths of the offline
+// pipeline with the machine-readable harness and writes the results to
+// path — the BENCH_5.json artifact EXPERIMENTS.md §5.1 quotes and CI
+// validates. Progress goes to out; the measurements only to the file.
+func runBenchOut(path string, benchTime time.Duration, out io.Writer) error {
+	r := bench.Runner{BenchTime: benchTime}
+	file := bench.NewFile()
+
+	s := workloads.BrowseScenario()
+	prog, err := s.Program()
+	if err != nil {
+		return err
+	}
+	log, err := racereplay.Record(prog, s.Config())
+	if err != nil {
+		return err
+	}
+	exec, err := racereplay.Replay(log)
+	if err != nil {
+		return err
+	}
+	races := racereplay.DetectRaces(exec)
+
+	// hitRate runs one instrumented, untimed pass and reads the memo
+	// counters, so the timed loops stay free of registry overhead.
+	hitRate := func(f func(reg *racereplay.Metrics)) float64 {
+		reg := racereplay.NewMetrics()
+		f(reg)
+		snap := reg.Snapshot()
+		h, m := snap.Counters["classify.memo.hits"], snap.Counters["classify.memo.misses"]
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	}
+
+	fmt.Fprintln(out, "bench: classification (browse, full offline pipeline)")
+	for _, memo := range []bool{true, false} {
+		name := fmt.Sprintf("classification/memo=%s", onOff(memo))
+		res := r.Run(file, name, func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := racereplay.AnalyzeLog(log, racereplay.Options{NoMemo: !memo}); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		if memo {
+			res.Metrics = map[string]float64{"hitrate": hitRate(func(reg *racereplay.Metrics) {
+				if _, err := racereplay.AnalyzeLogInstrumented(log, racereplay.Options{}, reg); err != nil {
+					fatal(err)
+				}
+			})}
+		}
+	}
+
+	fmt.Fprintln(out, "bench: memoized classification (memo on/off x workers 1/8)")
+	for _, memo := range []bool{true, false} {
+		for _, workers := range []int{1, 8} {
+			memo, workers := memo, workers
+			name := fmt.Sprintf("memoized-classification/memo=%s/workers=%d", onOff(memo), workers)
+			opts := racereplay.Options{Parallel: workers, NoMemo: !memo}
+			res := r.Run(file, name, func(n int) {
+				for i := 0; i < n; i++ {
+					racereplay.Classify(exec, races, opts)
+				}
+			})
+			if memo {
+				res.Metrics = map[string]float64{"hitrate": hitRate(func(reg *racereplay.Metrics) {
+					o := opts
+					o.Metrics = reg
+					racereplay.Classify(exec, races, o)
+				})}
+			}
+		}
+	}
+
+	fmt.Fprintln(out, "bench: happens-before analysis")
+	r.Run(file, "hb-analysis", func(n int) {
+		for i := 0; i < n; i++ {
+			ex, err := racereplay.Replay(log)
+			if err != nil {
+				fatal(err)
+			}
+			racereplay.DetectRaces(ex)
+		}
+	})
+
+	fmt.Fprintln(out, "bench: suite (seeds=2, jobs 1/8)")
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		res := r.Run(file, fmt.Sprintf("suite/jobs=%d", jobs), func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{Seeds: 2, Jobs: jobs}); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		res.Metrics = map[string]float64{"hitrate": hitRate(func(reg *racereplay.Metrics) {
+			if _, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{Seeds: 2, Jobs: jobs, Registry: reg}); err != nil {
+				fatal(err)
+			}
+		})}
+	}
+
+	if err := file.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: wrote %d benchmarks to %s\n", len(file.Benchmarks), path)
+	return nil
+}
+
+// checkBench validates a bench file against the schema — the CI gate.
+func checkBench(path string, out io.Writer) error {
+	f, err := bench.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: %s ok (%s, %s/%s, %d cpus, %d benchmarks)\n",
+		path, f.Schema, f.GoOS, f.GoArch, f.CPUs, len(f.Benchmarks))
+	return nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

@@ -23,9 +23,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/classify"
 	"repro/internal/debug"
@@ -433,6 +436,7 @@ func cmdSuite(args []string) error {
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
+	benchOut := fs.String("bench-out", "", "also write a machine-readable timing sample of this run as bench JSON (stdout is unchanged)")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
@@ -440,11 +444,26 @@ func cmdSuite(args []string) error {
 		return err
 	}
 	reg := metrics.registry()
+	if *benchOut != "" && reg == nil {
+		// The bench sample reads the memo counters; a private registry
+		// keeps -bench-out independent of the -metrics flags without
+		// changing what reaches stdout.
+		reg = racereplay.NewMetrics()
+	}
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
 	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
 		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg, Static: *staticStage,
 	})
 	if err != nil {
 		return err
+	}
+	if *benchOut != "" {
+		if err := writeSuiteBench(*benchOut, *seeds, *jobs, time.Since(start), memBefore, reg); err != nil {
+			return err
+		}
 	}
 	sp := reg.StartSpan("report")
 	fmt.Fprint(stdout, report.Summary(run.Merged, report.SuiteTruth))
@@ -466,6 +485,32 @@ func cmdSuite(args []string) error {
 	}
 	sp.End()
 	return metrics.emit(reg)
+}
+
+// writeSuiteBench records one suite run as a single-sample bench JSON
+// file: wall time, allocation deltas, and the replay cache's hit rate.
+// It writes only to path — suite stdout is byte-identical with and
+// without -bench-out, so the serial/parallel divergence diff can carry
+// the flag.
+func writeSuiteBench(path string, seeds, jobs int, elapsed time.Duration, before runtime.MemStats, reg *racereplay.Metrics) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	snap := reg.Snapshot()
+	hits, misses := snap.Counters["classify.memo.hits"], snap.Counters["classify.memo.misses"]
+	hitrate := 0.0
+	if hits+misses > 0 {
+		hitrate = float64(hits) / float64(hits+misses)
+	}
+	file := bench.NewFile()
+	file.Benchmarks = append(file.Benchmarks, bench.Result{
+		Name:        fmt.Sprintf("suite/seeds=%d/jobs=%d", seeds, jobs),
+		N:           1,
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		Metrics:     map[string]float64{"hitrate": hitrate},
+	})
+	return file.WriteFile(path)
 }
 
 // cmdLint is the static half of the pipeline: analyze programs ahead of

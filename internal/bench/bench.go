@@ -1,0 +1,177 @@
+// Package bench is the machine-readable benchmark harness behind
+// `paperbench -bench-out` and `racer suite -bench-out`: a minimal
+// go-test-style measurement loop (ns/op, bytes/op, allocs/op, custom
+// metrics like the memo hit rate) that serializes to a small, versioned
+// JSON schema CI can validate and diff tooling can consume.
+//
+// The harness exists next to the ordinary `go test -bench` benchmarks,
+// not instead of them: testing.B stays the precision instrument, this
+// package is the export format — one command, one JSON file, no output
+// parsing.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaID identifies the JSON layout; bump on incompatible change.
+const SchemaID = "racereplay-bench/v1"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	// Metrics carries benchmark-specific values (e.g. "hitrate" for the
+	// memoized classification benchmarks), mirroring b.ReportMetric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the versioned envelope written to disk.
+type File struct {
+	Schema     string   `json:"schema"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// NewFile returns an empty envelope stamped with the running platform.
+func NewFile() *File {
+	return &File{
+		Schema: SchemaID,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+}
+
+// Runner measures benchmarks: each Run iterates its function until the
+// accumulated wall time reaches BenchTime (testing.B's -benchtime), with
+// allocation counts taken from runtime.MemStats deltas.
+type Runner struct {
+	// BenchTime is the per-benchmark measurement budget; values <= 0
+	// mean one iteration (the CI smoke configuration, -benchtime=1x).
+	BenchTime time.Duration
+}
+
+// Run measures f and appends the result to file. f receives the
+// iteration count and must perform exactly that many operations.
+// The returned pointer addresses the appended Result, so callers can
+// attach custom metrics after measurement.
+func (r Runner) Run(file *File, name string, f func(n int)) *Result {
+	f(1) // warmup: page in code and caches, trigger lazy init
+	n := 1
+	var elapsed time.Duration
+	var mallocs, bytes uint64
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		f(n)
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&after)
+		mallocs = after.Mallocs - before.Mallocs
+		bytes = after.TotalAlloc - before.TotalAlloc
+		if elapsed >= r.BenchTime || n >= 1<<20 {
+			break
+		}
+		// Grow toward the budget like testing.B: predict from the observed
+		// rate with 20% headroom, but at least +1 and at most 10x.
+		next := n + 1
+		if elapsed > 0 {
+			predicted := int(float64(n) * 1.2 * float64(r.BenchTime) / float64(elapsed))
+			if predicted > next {
+				next = predicted
+			}
+		}
+		if next > 10*n {
+			next = 10 * n
+		}
+		n = next
+	}
+	file.Benchmarks = append(file.Benchmarks, Result{
+		Name:        name,
+		N:           n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerOp:  bytes / uint64(n),
+		AllocsPerOp: mallocs / uint64(n),
+	})
+	return &file.Benchmarks[len(file.Benchmarks)-1]
+}
+
+// Validate checks the envelope against the schema CI enforces: right
+// schema id, a stamped platform, and at least one benchmark with sane,
+// finite numbers under a unique name.
+func (f *File) Validate() error {
+	if f.Schema != SchemaID {
+		return fmt.Errorf("schema %q, want %q", f.Schema, SchemaID)
+	}
+	if f.GoOS == "" || f.GoArch == "" {
+		return fmt.Errorf("missing goos/goarch platform stamp")
+	}
+	if f.CPUs < 1 {
+		return fmt.Errorf("cpus = %d, want >= 1", f.CPUs)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks recorded")
+	}
+	seen := make(map[string]bool, len(f.Benchmarks))
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d has no name", i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.N < 1 {
+			return fmt.Errorf("%s: n = %d, want >= 1", b.Name, b.N)
+		}
+		if b.NsPerOp <= 0 || math.IsNaN(b.NsPerOp) || math.IsInf(b.NsPerOp, 0) {
+			return fmt.Errorf("%s: ns_per_op = %v, want finite > 0", b.Name, b.NsPerOp)
+		}
+		for k, v := range b.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%s: metric %q = %v, want finite", b.Name, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile validates the envelope and writes it as indented JSON.
+func (f *File) WriteFile(path string) error {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("bench: refusing to write invalid %s: %w", path, err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a benchmark file.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunnerMeasures: the harness must honor the budget loop, count at
+// least the iterations it asked for, and produce sane per-op numbers.
+func TestRunnerMeasures(t *testing.T) {
+	r := Runner{BenchTime: 5 * time.Millisecond}
+	file := NewFile()
+	total := 0
+	res := r.Run(file, "spin", func(n int) {
+		total += n
+		for i := 0; i < n; i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
+	})
+	if res.Name != "spin" || res.N < 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.NsPerOp < float64(50*time.Microsecond) {
+		t.Errorf("ns/op = %v, want >= sleep duration", res.NsPerOp)
+	}
+	if total < res.N {
+		t.Errorf("f ran %d iterations, result claims %d", total, res.N)
+	}
+	if err := file.Validate(); err != nil {
+		t.Errorf("measured file invalid: %v", err)
+	}
+}
+
+// TestValidateRejects walks the schema checks CI relies on.
+func TestValidateRejects(t *testing.T) {
+	good := func() *File {
+		f := NewFile()
+		f.Benchmarks = []Result{{Name: "x", N: 1, NsPerOp: 10}}
+		return f
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good file rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"wrong schema", func(f *File) { f.Schema = "other/v9" }, "schema"},
+		{"no platform", func(f *File) { f.GoOS = "" }, "goos"},
+		{"no cpus", func(f *File) { f.CPUs = 0 }, "cpus"},
+		{"empty", func(f *File) { f.Benchmarks = nil }, "no benchmarks"},
+		{"unnamed", func(f *File) { f.Benchmarks[0].Name = "" }, "no name"},
+		{"dup name", func(f *File) { f.Benchmarks = append(f.Benchmarks, f.Benchmarks[0]) }, "duplicate"},
+		{"zero n", func(f *File) { f.Benchmarks[0].N = 0 }, "n ="},
+		{"zero ns", func(f *File) { f.Benchmarks[0].NsPerOp = 0 }, "ns_per_op"},
+		{"nan metric", func(f *File) { f.Benchmarks[0].Metrics = map[string]float64{"hitrate": math.NaN()} }, "metric"},
+	}
+	for _, c := range cases {
+		f := good()
+		c.mut(f)
+		err := f.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestWriteReadRoundTrip: WriteFile refuses invalid envelopes and
+// ReadFile re-validates what it loads.
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	f := NewFile()
+	f.Benchmarks = []Result{{Name: "a", N: 3, NsPerOp: 1.5, Metrics: map[string]float64{"hitrate": 0.75}}}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Metrics["hitrate"] != 0.75 {
+		t.Errorf("round trip lost metrics: %+v", got.Benchmarks[0])
+	}
+
+	bad := NewFile()
+	if err := bad.WriteFile(path); err == nil {
+		t.Error("WriteFile accepted an empty envelope")
+	}
+
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted malformed JSON")
+	}
+}

@@ -186,6 +186,14 @@ type Options struct {
 	// MaxInstancesPerRace bounds how many instances of one race are
 	// analyzed per execution (0 = all). The paper analyzes every instance;
 	// the bound exists for exploratory runs.
+	//
+	// Sampling bias: clipping keeps a *prefix* of the schedule-ordered
+	// instance list, so the analyzed sample over-represents instances
+	// from early regions of the execution. Late-execution behavior (a
+	// race that only exposes a state change after the heap has grown,
+	// say) can be missed entirely under a low bound — the verdict then
+	// rests on early instances only. Clipping is surfaced on the
+	// classify.instances.clipped counter (dropped instances).
 	MaxInstancesPerRace int
 	// MaxSamplesPerRace bounds retained samples (default 4).
 	MaxSamplesPerRace int
@@ -212,6 +220,18 @@ type Options struct {
 	// outcome, races by verdict, replay-failure causes) and is forwarded
 	// to the virtual processor for its vproc.* counters.
 	Metrics *obs.Registry
+	// NoMemo disables the dual-order replay cache. Memoization is on by
+	// default (the zero Options memoizes within the Run): equal live-in
+	// fingerprints are guaranteed equal results, so the cache never
+	// changes the classification — NoMemo exists for measurement and for
+	// the memo-on vs memo-off equivalence tests.
+	NoMemo bool
+	// Memo, when set, is the replay cache to use (and share): callers
+	// analyzing several executions of the same program pass one Memo so
+	// recurring instances hit across executions (core.AnalyzeLogs wires
+	// one per batch). Nil means Run builds a private per-Run cache,
+	// unless NoMemo is set.
+	Memo *Memo
 }
 
 // Run analyzes every instance of every race in report and returns the
@@ -238,9 +258,11 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	results := make([][]vproc.Result, len(report.Races))
 	type workItem struct{ race, inst int }
 	var work []workItem
+	var clipped uint64
 	for ri, race := range report.Races {
 		insts := race.Instances
 		if opts.MaxInstancesPerRace > 0 && len(insts) > opts.MaxInstancesPerRace {
+			clipped += uint64(len(insts) - opts.MaxInstancesPerRace)
 			insts = insts[:opts.MaxInstancesPerRace]
 		}
 		instances[ri] = insts
@@ -249,14 +271,58 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 			work = append(work, workItem{ri, ii})
 		}
 	}
+	if clipped > 0 {
+		// Dropped instances, counted only when the bound actually bit:
+		// the counter's presence is the signal that the sampling bias
+		// documented on MaxInstancesPerRace is in play.
+		opts.Metrics.Counter("classify.instances.clipped").Add(clipped)
+	}
+
+	// The replay cache: on by default, shared when the caller passed one.
+	// A hit skips both region replays and replays the vproc.* counter
+	// effects instead, so every metric except classify.memo.* is
+	// identical with and without the cache.
+	memo := opts.Memo
+	if memo == nil && !opts.NoMemo {
+		memo = NewMemo()
+	}
+	var fper *vproc.Fingerprinter
+	var salt uint64
+	if memo != nil {
+		fper = vproc.NewFingerprinter(exec)
+		if opts.UseOracle {
+			salt = oracleSalts.Add(1)
+		}
+	}
+	cHits := opts.Metrics.Counter("classify.memo.hits")
+	cMisses := opts.Metrics.Counter("classify.memo.misses")
+
 	workers := sched.Normalize(opts.Parallel, 1)
-	sched.ForEach(workers, len(work), func(k int) {
+	// Worker-local virtual-processor scratch: all items of worker w run
+	// sequentially on it, so slot w is never shared.
+	scratches := make([]vproc.Scratch, max(workers, 1))
+	sched.ForEachWorker(workers, len(work), func(wk, k int) {
 		w := work[k]
 		// Panic isolation per instance: a dual-order replay that panics
 		// (a corrupt log can trip invariants the decoder cannot check)
 		// records a ReplayFailure outcome instead of crashing the batch.
 		err := sched.Guard(opts.Metrics, func() error {
-			results[w.race][w.inst] = vproc.AnalyzeOpts(exec, racePair(instances[w.race][w.inst]), vopts)
+			pair := racePair(instances[w.race][w.inst])
+			if memo != nil {
+				fp := fper.Instance(pair, vopts, salt)
+				if res, ok := memo.Lookup(fp); ok {
+					cHits.Inc()
+					countCachedReplay(opts.Metrics, res)
+					results[w.race][w.inst] = res
+					return nil
+				}
+				cMisses.Inc()
+				res := vproc.AnalyzeScratch(exec, pair, vopts, &scratches[wk])
+				memo.Store(fp, res)
+				results[w.race][w.inst] = res
+				return nil
+			}
+			results[w.race][w.inst] = vproc.AnalyzeScratch(exec, pair, vopts, &scratches[wk])
 			return nil
 		})
 		if err != nil {
@@ -266,6 +332,9 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 			}
 		}
 	})
+	if memo != nil {
+		opts.Metrics.Gauge("classify.memo.bytes").Set(float64(memo.Bytes()))
+	}
 
 	cls := &Classification{}
 	for ri, race := range report.Races {

@@ -1,0 +1,127 @@
+package classify
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/vproc"
+)
+
+// Memo is the dual-order replay cache: vproc results keyed by live-in
+// fingerprint (vproc.Fingerprint). Equal fingerprints are guaranteed
+// equal results, so a hit returns the stored {Outcome, FailReason,
+// Diffs} verbatim and skips both region replays.
+//
+// The cache is sharded and concurrency-safe: the classification workers
+// of one Run share it without coordination beyond a per-shard mutex,
+// and one Memo can be shared across executions (core.AnalyzeLogs wires
+// one per batch) — fingerprints are content hashes, so instances from
+// different executions of the same program collide exactly when their
+// replay inputs are identical. Entries are never invalidated: a
+// fingerprint covers everything the replay can observe, so a cached
+// result cannot go stale (docs/PERFORMANCE.md spells out the
+// invariant). Concurrent misses on the same fingerprint may both
+// compute; both compute the same result and the first writer wins.
+//
+// The zero value is not usable; use NewMemo.
+type Memo struct {
+	m      *sched.ShardedMap[vproc.Fingerprint, vproc.Result]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// memoShards is sized for a worker pool, not for the key space: enough
+// shards that GOMAXPROCS-ish workers rarely contend on one mutex.
+const memoShards = 64
+
+// Approximate per-entry retained sizes for the bytes gauge, in bytes:
+// the fingerprint key plus the Result header (Outcome + string header +
+// slice header), map bucket overhead ignored; each Diff adds its struct
+// size (string header + TID + three uint64s). The Kind strings are
+// shared literals, so only their headers count.
+const (
+	memoEntryBytes = 32 + 48
+	memoDiffBytes  = 48
+)
+
+// NewMemo returns an empty replay cache.
+func NewMemo() *Memo {
+	return &Memo{
+		m: sched.NewShardedMap[vproc.Fingerprint, vproc.Result](memoShards, func(k vproc.Fingerprint) uint64 {
+			// Fingerprints are uniform sha256 digests; any 8 bytes shard evenly.
+			return binary.LittleEndian.Uint64(k[:8])
+		}),
+	}
+}
+
+// Lookup returns the cached result for fp, counting the hit or miss.
+func (m *Memo) Lookup(fp vproc.Fingerprint) (vproc.Result, bool) {
+	res, ok := m.m.Load(fp)
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return res, ok
+}
+
+// Store caches res under fp. First writer wins; later writers of the
+// same fingerprint (concurrent misses) are dropped, which is sound
+// because equal fingerprints imply equal results.
+func (m *Memo) Store(fp vproc.Fingerprint, res vproc.Result) {
+	if m.m.Store(fp, res) {
+		m.bytes.Add(uint64(memoEntryBytes + len(res.FailReason) + memoDiffBytes*len(res.Diffs)))
+	}
+}
+
+// Hits returns the lifetime hit count.
+func (m *Memo) Hits() uint64 { return m.hits.Load() }
+
+// Misses returns the lifetime miss count.
+func (m *Memo) Misses() uint64 { return m.misses.Load() }
+
+// Len returns the number of cached results.
+func (m *Memo) Len() int { return m.m.Len() }
+
+// Bytes returns the approximate retained size of the cached results.
+func (m *Memo) Bytes() uint64 { return m.bytes.Load() }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (m *Memo) HitRate() float64 {
+	h, s := m.hits.Load(), m.hits.Load()+m.misses.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(h) / float64(s)
+}
+
+// oracleSalts distinguishes the oracle configurations of successive
+// classification passes: oracle answers depend on the whole execution,
+// so oracle-mode fingerprints are only shareable within one Run (see
+// vproc.Fingerprinter.Instance).
+var oracleSalts atomic.Uint64
+
+// countCachedReplay replays a cache hit's effect on the vproc.* stage
+// counters, exactly as vproc.AnalyzeScratch would have counted the
+// live replay. This keeps every counter except classify.memo.* (and
+// timing) identical between memo-on and memo-off runs — the equivalence
+// the suite tests pin down. The failed order is recovered from the
+// FailReason prefix runOrder always emits.
+func countCachedReplay(reg *obs.Registry, res vproc.Result) {
+	reg.Counter("vproc.instances_analyzed").Inc()
+	reg.Counter("vproc.order_replays").Add(2)
+	switch res.Outcome {
+	case vproc.ReplayFailure:
+		if strings.HasPrefix(res.FailReason, "original order: ") {
+			reg.Counter("vproc.order_failures_original").Inc()
+		} else {
+			reg.Counter("vproc.order_failures_alternative").Inc()
+		}
+	case vproc.StateChange:
+		reg.Counter("vproc.liveout_diffs").Add(uint64(len(res.Diffs)))
+	}
+}

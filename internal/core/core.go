@@ -125,9 +125,22 @@ func AnalyzeLogs(logs []*trace.Log, optsFor func(i int) classify.Options, jobs i
 func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Options, jobs int, reg *obs.Registry) ([]*Result, []Quarantined) {
 	results := make([]*Result, len(logs))
 	errs := make([]error, len(logs))
+	// One replay cache for the whole batch: fingerprints are content
+	// hashes, so instances recurring across executions of the same
+	// program (the suite records every scenario under several seeds) hit
+	// the shared cache. Callers that set their own Memo — or NoMemo —
+	// keep their setting.
+	memo := classify.NewMemo()
+	batchOpts := func(i int) classify.Options {
+		o := optsFor(i)
+		if o.Memo == nil && !o.NoMemo {
+			o.Memo = memo
+		}
+		return o
+	}
 	analyze := func(i int, reg *obs.Registry) {
 		errs[i] = sched.Guard(reg, func() (err error) {
-			results[i], err = AnalyzeLogInstrumented(logs[i], optsFor(i), reg)
+			results[i], err = AnalyzeLogInstrumented(logs[i], batchOpts(i), reg)
 			return err
 		})
 	}

@@ -64,16 +64,26 @@ type Race struct {
 type Report struct {
 	Races          []*Race
 	TotalInstances int
+
+	// index maps sites to races, built by the detector (or lazily on the
+	// first Race call for hand-assembled reports) so per-candidate joins —
+	// the static cross-validation calls Race once per candidate — cost one
+	// map lookup instead of a linear scan over every race.
+	index map[SitePair]*Race
 }
 
-// Race returns the race with the given site pair, or nil.
+// Race returns the race with the given site pair, or nil. The first call
+// on a report whose index is unbuilt builds it, so Race is not safe for
+// concurrent first use with hand-assembled reports (detector-built
+// reports come pre-indexed).
 func (r *Report) Race(sites SitePair) *Race {
-	for _, race := range r.Races {
-		if race.Sites == sites {
-			return race
+	if r.index == nil {
+		r.index = make(map[SitePair]*Race, len(r.Races))
+		for _, race := range r.Races {
+			r.index[race.Sites] = race
 		}
 	}
-	return nil
+	return r.index[sites]
 }
 
 // accessRef ties an access to its region for the per-address index.
@@ -94,79 +104,175 @@ func DetectInstrumented(exec *replay.Execution, reg *obs.Registry) *Report {
 	return detect(exec, func(a, b *replay.Region) bool { return a.Overlaps(b) }, reg)
 }
 
+// addrScreen is the per-address screening summary plus the address's
+// cursor into the shared reference buffer once it survives the screen.
+type addrScreen struct {
+	tid         int32 // first thread observed touching the address
+	refs        int32 // non-atomic accesses (for exact buffer sizing)
+	start, next int32 // range into the shared ref buffer (pass 2)
+	multiThread bool  // a second thread touched it
+	hasWrite    bool  // at least one non-atomic write
+	keep        bool  // survived the screen
+}
+
 // detect is the shared conflict search, parameterized by the concurrency
 // test on region pairs.
+//
+// The search runs in two passes over the recorded accesses. Pass 1
+// screens every address down to a constant-size summary (slot in a flat
+// slice; the only per-access map op is the address→slot lookup); only
+// addresses touched by two or more threads with at least one write go
+// any further — the single-thread-address fast path filters everything
+// else, which on real workloads is almost every address. Pass 2 copies
+// the surviving addresses' references into one exactly-sized shared
+// buffer, each address a contiguous range, in region schedule order. So
+// grouping by region is run-splitting over a sorted slice (references
+// in a range arrive already sorted by Region.Global), and instance
+// dedup is a linear scan over the handful of site pairs one region pair
+// can emit (no global map churn).
 func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, reg *obs.Registry) *Report {
-	// Index data accesses by address. Atomic (lock-prefixed) accesses are
-	// synchronization, not data: skip them here.
-	byAddr := make(map[uint64][]accessRef)
+	// Pass 1: screen addresses. Atomic (lock-prefixed) accesses are
+	// synchronization, not data: skip them in both passes.
+	slotOf := make(map[uint64]int32)
+	var screens []addrScreen
 	for _, region := range exec.Regions {
 		for _, acc := range region.Accesses {
 			if acc.Atomic {
 				continue
 			}
-			byAddr[acc.Addr] = append(byAddr[acc.Addr], accessRef{acc: acc, reg: region})
+			slot, ok := slotOf[acc.Addr]
+			if !ok {
+				slot = int32(len(screens))
+				screens = append(screens, addrScreen{tid: int32(region.TID)})
+				slotOf[acc.Addr] = slot
+			}
+			s := &screens[slot]
+			if s.tid != int32(region.TID) {
+				s.multiThread = true
+			}
+			s.hasWrite = s.hasWrite || acc.IsWrite
+			s.refs++
+		}
+	}
+
+	// Lay out one contiguous range per surviving address in a shared
+	// buffer, and list the survivors in ascending address order (the
+	// emission order golden outputs depend on).
+	var screenedOut uint64
+	var addrs []uint64
+	totalKept := int32(0)
+	for addr, slot := range slotOf {
+		s := &screens[slot]
+		if s.multiThread && s.hasWrite {
+			s.keep = true
+			addrs = append(addrs, addr)
+		} else {
+			screenedOut++
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		s := &screens[slotOf[addr]]
+		s.start, s.next = totalKept, totalKept
+		totalKept += s.refs
+	}
+
+	// Pass 2: copy the survivors' references into their ranges, walking
+	// regions in schedule order so each range is sorted by Region.Global.
+	refBuf := make([]accessRef, totalKept)
+	if totalKept > 0 {
+		for _, region := range exec.Regions {
+			for _, acc := range region.Accesses {
+				if acc.Atomic {
+					continue
+				}
+				s := &screens[slotOf[acc.Addr]]
+				if s.keep {
+					refBuf[s.next] = accessRef{acc: acc, reg: region}
+					s.next++
+				}
+			}
 		}
 	}
 
 	races := make(map[SitePair]*Race)
 	total := 0
 	var pairsExamined, pairsConflicting uint64
-	// seen dedupes instances: one per (site pair, region pair, address).
-	type instKey struct {
-		sites  SitePair
-		ga, gb int
-		addr   uint64
-	}
-	seen := make(map[instKey]bool)
 
-	addrs := make([]uint64, 0, len(byAddr))
-	for a := range byAddr {
-		addrs = append(addrs, a)
+	// Scratch reused across addresses: per-region access runs (reads and
+	// writes separated into shared backing buffers, preserving access
+	// order) and the per-region-pair site dedup list.
+	type group struct {
+		reg      *replay.Region
+		rLo, rHi int // range into readsBuf
+		wLo, wHi int // range into writesBuf
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var groups []group
+	var readsBuf, writesBuf []replay.Access
+	var emitted []SitePair
+
+	// Site strings are pure functions of the PC; formatting them once per
+	// PC instead of once per emitted instance keeps the hot pair loops
+	// free of fmt work. SiteOf never returns "", so "" marks an unfilled
+	// slot.
+	siteCache := make([]string, len(exec.Prog.Code))
+	siteOf := func(pc int) string {
+		if pc < 0 || pc >= len(siteCache) {
+			return exec.Prog.SiteOf(pc)
+		}
+		s := siteCache[pc]
+		if s == "" {
+			s = exec.Prog.SiteOf(pc)
+			siteCache[pc] = s
+		}
+		return s
+	}
 
 	for _, addr := range addrs {
-		refs := byAddr[addr]
-		// Group by region, preserving schedule order.
-		type group struct {
-			reg    *replay.Region
-			reads  []replay.Access
-			writes []replay.Access
-		}
-		var groups []*group
-		idx := make(map[int]*group)
-		for _, ref := range refs {
-			g := idx[ref.reg.Global]
-			if g == nil {
-				g = &group{reg: ref.reg}
-				idx[ref.reg.Global] = g
-				groups = append(groups, g)
+		s := &screens[slotOf[addr]]
+		refs := refBuf[s.start:s.next]
+
+		// Run-split by region: within the range, references are in region
+		// schedule order, and one region's accesses are contiguous.
+		groups = groups[:0]
+		readsBuf = readsBuf[:0]
+		writesBuf = writesBuf[:0]
+		for i := 0; i < len(refs); {
+			j := i
+			g := group{reg: refs[i].reg, rLo: len(readsBuf), wLo: len(writesBuf)}
+			for j < len(refs) && refs[j].reg == g.reg {
+				if acc := refs[j].acc; acc.IsWrite {
+					writesBuf = append(writesBuf, acc)
+				} else {
+					readsBuf = append(readsBuf, acc)
+				}
+				j++
 			}
-			if ref.acc.IsWrite {
-				g.writes = append(g.writes, ref.acc)
-			} else {
-				g.reads = append(g.reads, ref.acc)
-			}
+			g.rHi, g.wHi = len(readsBuf), len(writesBuf)
+			groups = append(groups, g)
+			i = j
 		}
-		sort.Slice(groups, func(i, j int) bool { return groups[i].reg.Global < groups[j].reg.Global })
 
 		for i := 0; i < len(groups); i++ {
 			for j := i + 1; j < len(groups); j++ {
-				ga, gb := groups[i], groups[j]
+				ga, gb := &groups[i], &groups[j]
 				pairsExamined++
 				if ga.reg.TID == gb.reg.TID || !concurrent(ga.reg, gb.reg) {
 					continue
 				}
 				pairsConflicting++
 				// Conflicting pairs: write/write, write/read, read/write.
+				// One instance per (site pair, region pair, address):
+				// emitted holds this pair's site pairs for the dedup scan.
+				emitted = emitted[:0]
 				emit := func(a, b replay.Access) {
-					sites := MakeSitePair(a.Site(exec.Prog), b.Site(exec.Prog))
-					k := instKey{sites: sites, ga: ga.reg.Global, gb: gb.reg.Global, addr: addr}
-					if seen[k] {
-						return
+					sites := MakeSitePair(siteOf(a.PC), siteOf(b.PC))
+					for _, e := range emitted {
+						if e == sites {
+							return
+						}
 					}
-					seen[k] = true
+					emitted = append(emitted, sites)
 					race := races[sites]
 					if race == nil {
 						race = &Race{Sites: sites}
@@ -181,16 +287,16 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, r
 					})
 					total++
 				}
-				for _, w := range ga.writes {
-					for _, x := range gb.writes {
+				for _, w := range writesBuf[ga.wLo:ga.wHi] {
+					for _, x := range writesBuf[gb.wLo:gb.wHi] {
 						emit(w, x)
 					}
-					for _, r := range gb.reads {
+					for _, r := range readsBuf[gb.rLo:gb.rHi] {
 						emit(w, r)
 					}
 				}
-				for _, r := range ga.reads {
-					for _, w := range gb.writes {
+				for _, r := range readsBuf[ga.rLo:ga.rHi] {
+					for _, w := range writesBuf[gb.wLo:gb.wHi] {
 						emit(r, w)
 					}
 				}
@@ -200,13 +306,14 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, r
 
 	if reg != nil {
 		reg.Counter("detect.executions").Inc()
-		reg.Counter("detect.addresses_indexed").Add(uint64(len(byAddr)))
+		reg.Counter("detect.addresses_indexed").Add(uint64(len(screens)))
+		reg.Counter("detect.addresses_screened_out").Add(screenedOut)
 		reg.Counter("detect.region_pairs_examined").Add(pairsExamined)
 		reg.Counter("detect.region_pairs_conflicting").Add(pairsConflicting)
 		reg.Counter("detect.races").Add(uint64(len(races)))
 		reg.Counter("detect.instances").Add(uint64(total))
 	}
-	rep := &Report{TotalInstances: total}
+	rep := &Report{TotalInstances: total, index: races}
 	for _, race := range races {
 		rep.Races = append(rep.Races, race)
 	}

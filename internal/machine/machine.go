@@ -154,6 +154,7 @@ type Machine struct {
 	liveCnt  int
 	deadlock bool
 	ss       schedState
+	runBuf   []*Thread // reusable runnable-thread collection buffer
 }
 
 // New builds a machine for prog. The program is validated; thread 0 is

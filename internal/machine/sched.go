@@ -95,7 +95,8 @@ func (m *Machine) assignPriority(tid int) {
 // pickPolicy chooses the next thread according to the configured policy.
 // Returns nil when nothing is runnable.
 func (m *Machine) pickPolicy() *Thread {
-	runnable := runnable(m.threads)
+	runnable := appendRunnable(m.runBuf[:0], m.threads)
+	m.runBuf = runnable
 	if len(runnable) == 0 {
 		for _, t := range m.threads {
 			if t.State == BlockedLock || t.State == BlockedJoin {
@@ -130,8 +131,7 @@ func (m *Machine) pickPolicy() *Thread {
 	}
 }
 
-func runnable(threads []*Thread) []*Thread {
-	out := make([]*Thread, 0, len(threads))
+func appendRunnable(out []*Thread, threads []*Thread) []*Thread {
 	for _, t := range threads {
 		if t.State == Runnable {
 			out = append(out, t)

@@ -191,6 +191,8 @@ type Session struct {
 	replayers map[int]*threadReplayer
 	pos       int          // regions processed so far
 	cRegions  *obs.Counter // replay.regions (nil when uninstrumented)
+
+	accScratch []Access // reusable access collection buffer (see StepRegion)
 }
 
 // NewSession validates the log, builds the per-thread replayers, and
@@ -218,7 +220,10 @@ func NewSession(log *trace.Log, opts Options) (*Session, error) {
 	// possible tie is between a parent's post-spawn region and the child's
 	// first region (both anchored at the spawn sequencer); the child goes
 	// first, since conceptually it exists from the instant of the spawn.
-	sort.SliceStable(exec.Regions, func(i, j int) bool {
+	// The Ordinal tie-break makes the order total (same-thread regions are
+	// already in Ordinal order), so an unstable sort gives the same result
+	// as a stable one without the stable sort's merge passes.
+	sort.Slice(exec.Regions, func(i, j int) bool {
 		a, b := exec.Regions[i], exec.Regions[j]
 		if a.StartTS != b.StartTS {
 			return a.StartTS < b.StartTS
@@ -226,7 +231,10 @@ func NewSession(log *trace.Log, opts Options) (*Session, error) {
 		if a.StartKind != b.StartKind {
 			return a.StartKind == trace.SeqStart
 		}
-		return a.TID < b.TID
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Ordinal < b.Ordinal
 	})
 	for i, r := range exec.Regions {
 		r.Global = i
@@ -268,15 +276,30 @@ func (s *Session) StepRegion() error {
 	tr := s.replayers[region.TID]
 	s.cRegions.Add(1)
 	region.HeapEpoch = len(s.exec.HeapEvents)
+	scratchBacked := false
+	if region.Accesses == nil && !s.opts.SkipAccesses {
+		// First processing: collect accesses into the session's reusable
+		// buffer, then shrink-copy below. Most instructions of a region are
+		// not data accesses, so sizing an allocation by region length would
+		// waste most of it, and the exact count is only known afterwards.
+		region.Accesses = s.accScratch[:0]
+		scratchBacked = true
+	}
 	region.Accesses = region.Accesses[:0] // reprocessing after Restore starts clean
 	if err := tr.runRegion(region); err != nil {
 		return err
+	}
+	if scratchBacked {
+		s.accScratch = region.Accesses[:0] // keep the grown buffer for the next region
+		exact := make([]Access, len(region.Accesses))
+		copy(exact, region.Accesses)
+		region.Accesses = exact
 	}
 	if !s.opts.SkipAccesses {
 		// Live-in: the pre-region global image restricted to the region's
 		// footprint, completed by the region's own first loads for
 		// addresses the image has not seen yet.
-		region.LiveIn = make(map[uint64]uint64)
+		region.LiveIn = make(map[uint64]uint64, len(region.Accesses)/4+1)
 		for _, a := range region.Accesses {
 			if _, seen := region.LiveIn[a.Addr]; seen {
 				continue
@@ -441,21 +464,29 @@ func newThreadReplayer(prog *isa.Program, tl *trace.ThreadLog, exec *Execution, 
 
 	// Carve regions from the sequencer list: region k spans
 	// [seq[k].Idx, seq[k+1].Idx) and [seq[k].TS, seq[k+1].TS).
+	// The Region structs are carved from one block allocation; the block
+	// is never resized, so the pointers into it stay valid for the life
+	// of the execution.
 	seqs := tl.Seqs
-	for k := 0; k+1 < len(seqs); k++ {
-		tr.result.Regions = append(tr.result.Regions, &Region{
-			TID:          tl.TID,
-			Ordinal:      k,
-			StartTS:      seqs[k].TS,
-			EndTS:        seqs[k+1].TS,
-			StartIdx:     seqs[k].Idx,
-			EndIdx:       seqs[k+1].Idx,
-			StartKind:    seqs[k].Kind,
-			EndKind:      seqs[k+1].Kind,
-			StartSyscall: -1,
-			SpawnChild:   -1,
-			JoinTarget:   -1,
-		})
+	if n := len(seqs) - 1; n > 0 {
+		block := make([]Region, n)
+		tr.result.Regions = make([]*Region, n)
+		for k := 0; k < n; k++ {
+			block[k] = Region{
+				TID:          tl.TID,
+				Ordinal:      k,
+				StartTS:      seqs[k].TS,
+				EndTS:        seqs[k+1].TS,
+				StartIdx:     seqs[k].Idx,
+				EndIdx:       seqs[k+1].Idx,
+				StartKind:    seqs[k].Kind,
+				EndKind:      seqs[k+1].Kind,
+				StartSyscall: -1,
+				SpawnChild:   -1,
+				JoinTarget:   -1,
+			}
+			tr.result.Regions[k] = &block[k]
+		}
 	}
 	return tr
 }

@@ -222,12 +222,22 @@ func (p *Pool) runTask(f func()) {
 // concurrently for distinct indices. Results written to index-addressed
 // slots are bit-identical to the serial loop.
 func ForEach(workers, n int, f func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { f(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: f(w, i) runs item i on
+// worker w, where 0 <= w < min(workers, n). All items handed to one
+// worker run sequentially on it, so w safely indexes worker-local
+// scratch state (the classifier reuses per-worker virtual-processor
+// buffers this way). The serial path (workers <= 1 or n < 2) runs
+// everything inline as worker 0.
+func ForEachWorker(workers, n int, f func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < 2 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -235,16 +245,16 @@ func ForEach(workers, n int, f func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,218 @@
+// Live-in fingerprints: a canonical content hash over everything a
+// dual-order replay can observe, so two instances with equal
+// fingerprints are guaranteed equal AnalyzeOpts results. The
+// classifier's memoization cache (classify.Memo) keys on these.
+//
+// The fingerprint is deliberately relative: region digests exclude the
+// absolute instruction indices, timestamps, and schedule position of a
+// region, so a region that recurs with byte-identical live-in state
+// later in the execution (the paper's Figure 3 recurrence) hashes
+// equal and its instances hit the cache. Everything AnalyzeOpts reads
+// is covered — see docs/PERFORMANCE.md for the input-by-input
+// soundness argument:
+//
+//   - program code (machine.Step executes Prog.Code; vproc reads no
+//     other program state),
+//   - per region: the live-in register file and PC (StartCpu), the
+//     region length (the step budget and prefix lengths are relative),
+//     the owning TID (SysGettid and Diff labels), the closing sync PC
+//     (completion detection), the log's EndReason (the recorded-
+//     boundary stop for budget-ended threads), the opening syscall's
+//     recorded result if any, and the full live-in memory map (both
+//     regions' maps are readable through liveInFor's peer fallback),
+//   - per instance: the racing operations' offsets within their
+//     regions, their recorded PCs, the racing address, and the heap
+//     event prefix both regions replay against (poisoning and
+//     allocation lookups run at the pair's minimum heap epoch),
+//   - the oracle configuration (see below).
+//
+// When Options.Oracle is set, replay outcomes additionally depend on
+// the whole execution's versioned memory at the pair's minimum region
+// schedule position, so oracle-mode fingerprints include that position
+// and a caller-supplied salt (the classifier uses a per-Run value):
+// sharing then only happens within one classification pass, where the
+// oracle is fixed. Oracle-off fingerprints are execution-independent
+// and safe to share across executions of the same program.
+package vproc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/replay"
+)
+
+// Fingerprint is the canonical identity of a race instance's dual-order
+// replay inputs. Equal fingerprints imply equal Analyze results.
+type Fingerprint [32]byte
+
+// Fingerprinter computes instance fingerprints for one execution,
+// caching the per-execution work: the program hash (computed eagerly —
+// every fingerprint needs it), the rolling heap-event prefix hashes,
+// and one lazily computed digest per region, stored lock-free so the
+// classification workers share the cache without coordination.
+type Fingerprinter struct {
+	exec     *replay.Execution
+	progHash [32]byte
+
+	heapOnce   sync.Once
+	heapPrefix [][32]byte // heapPrefix[i] = digest of HeapEvents[:i]
+
+	regions []atomic.Pointer[[32]byte] // indexed by Region.Global
+}
+
+// NewFingerprinter builds a fingerprinter for exec.
+func NewFingerprinter(exec *replay.Execution) *Fingerprinter {
+	b := make([]byte, 0, 16*len(exec.Prog.Code))
+	for _, ins := range exec.Prog.Code {
+		b = binary.LittleEndian.AppendUint64(b, uint64(ins.Op)|uint64(ins.Rd)<<8|uint64(ins.Rs1)<<16|uint64(ins.Rs2)<<24)
+		b = binary.LittleEndian.AppendUint64(b, uint64(ins.Imm))
+	}
+	return &Fingerprinter{
+		exec:     exec,
+		progHash: sha256.Sum256(b),
+		regions:  make([]atomic.Pointer[[32]byte], len(exec.Regions)),
+	}
+}
+
+// The digests below encode into append-grown byte buffers and hash with
+// sha256.Sum256 rather than a streaming hash.Hash: the miss path of the
+// memo runs Instance once per race instance, and a heap-allocated sha256
+// state per call made fingerprinting cost as much as the replays it was
+// saving. Instance's buffer has a fixed maximum size and stays on the
+// stack; the variable-size region encoding is amortized by the per-region
+// digest cache.
+
+// heapPrefixAt returns the digest of exec.HeapEvents[:epoch], building
+// the rolling prefix table on first use.
+func (f *Fingerprinter) heapPrefixAt(epoch int) [32]byte {
+	f.heapOnce.Do(func() {
+		events := f.exec.HeapEvents
+		prefixes := make([][32]byte, len(events)+1)
+		var buf [56]byte // prev digest + kind + base + size
+		for i, ev := range events {
+			b := append(buf[:0], prefixes[i][:]...)
+			b = binary.LittleEndian.AppendUint64(b, uint64(ev.Kind))
+			b = binary.LittleEndian.AppendUint64(b, ev.Base)
+			b = binary.LittleEndian.AppendUint64(b, ev.Size)
+			prefixes[i+1] = sha256.Sum256(b)
+		}
+		f.heapPrefix = prefixes
+	})
+	if epoch < 0 {
+		epoch = 0
+	}
+	if epoch >= len(f.heapPrefix) {
+		epoch = len(f.heapPrefix) - 1
+	}
+	return f.heapPrefix[epoch]
+}
+
+// regionDigest returns the cached digest of everything a dual-order
+// replay can observe about one region, computing it on first use.
+// Concurrent first use may compute the digest twice; both computations
+// produce the same bytes, so the race is benign.
+func (f *Fingerprinter) regionDigest(r *replay.Region) [32]byte {
+	if p := f.regions[r.Global].Load(); p != nil {
+		return *p
+	}
+	le := binary.LittleEndian
+	b := make([]byte, 0, 8*len(r.StartCpu.Regs)+8*8+16*len(r.LiveIn))
+	// Live-in architectural state and the region's relative extent.
+	for _, reg := range r.StartCpu.Regs {
+		b = le.AppendUint64(b, reg)
+	}
+	b = le.AppendUint64(b, uint64(int64(r.StartCpu.PC)))
+	b = le.AppendUint64(b, r.EndIdx-r.StartIdx)
+	b = le.AppendUint64(b, uint64(int64(r.TID)))
+
+	// Completion detection: the closing sync PC (the next region's
+	// opening PC), and the recorded-boundary fallback inputs for regions
+	// with no closing sync.
+	closePC := -1
+	if th := f.exec.Thread(r.TID); th != nil && r.Ordinal+1 < len(th.Regions) {
+		closePC = th.Regions[r.Ordinal+1].StartCpu.PC
+	}
+	b = le.AppendUint64(b, uint64(int64(closePC)))
+	if log := f.exec.Log.Thread(r.TID); log != nil {
+		b = le.AppendUint64(b, uint64(log.EndReason))
+		// The opening syscall's recorded result, if the region opens with
+		// an injectable syscall (rand/time/spawn/join).
+		found := uint64(0)
+		res := uint64(0)
+		for _, rec := range log.SysRets {
+			if rec.Idx == r.StartIdx {
+				found, res = 1, rec.Res
+				break
+			}
+		}
+		b = le.AppendUint64(b, found)
+		b = le.AppendUint64(b, res)
+	}
+
+	// Live-in memory, in canonical (sorted-address) order.
+	addrs := make([]uint64, 0, len(r.LiveIn))
+	for a := range r.LiveIn {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	b = le.AppendUint64(b, uint64(len(addrs)))
+	for _, a := range addrs {
+		b = le.AppendUint64(b, a)
+		b = le.AppendUint64(b, r.LiveIn[a])
+	}
+
+	d := sha256.Sum256(b)
+	f.regions[r.Global].Store(&d)
+	return d
+}
+
+// Instance fingerprints one race instance under the given options.
+// oracleSalt distinguishes oracle configurations; it is ignored when
+// opts.Oracle is nil (the oracle-free replay is execution-independent).
+// The pair is canonicalized exactly as AnalyzeOpts canonicalizes it, so
+// the fingerprint is a property of the instance, not of how the caller
+// ordered the regions.
+func (f *Fingerprinter) Instance(pair RacePair, opts Options, oracleSalt uint64) Fingerprint {
+	if pair.RegionB.Global < pair.RegionA.Global {
+		pair.RegionA, pair.RegionB = pair.RegionB, pair.RegionA
+		pair.IdxA, pair.IdxB = pair.IdxB, pair.IdxA
+		pair.PCA, pair.PCB = pair.PCB, pair.PCA
+	}
+	epoch := pair.RegionA.HeapEpoch
+	if pair.RegionB.HeapEpoch < epoch {
+		epoch = pair.RegionB.HeapEpoch
+	}
+	le := binary.LittleEndian
+	var arr [192]byte // 4 digests + at most 8 u64 fields; stays on the stack
+	b := append(arr[:0], f.progHash[:]...)
+	da := f.regionDigest(pair.RegionA)
+	b = append(b, da[:]...)
+	db := f.regionDigest(pair.RegionB)
+	b = append(b, db[:]...)
+	b = le.AppendUint64(b, pair.IdxA-pair.RegionA.StartIdx)
+	b = le.AppendUint64(b, pair.IdxB-pair.RegionB.StartIdx)
+	b = le.AppendUint64(b, uint64(int64(pair.PCA)))
+	b = le.AppendUint64(b, uint64(int64(pair.PCB)))
+	b = le.AppendUint64(b, pair.Addr)
+	hp := f.heapPrefixAt(epoch)
+	b = append(b, hp[:]...)
+	if opts.Oracle != nil {
+		// Oracle answers depend on the whole execution's memory history at
+		// the pair's schedule position; pin both so equal fingerprints
+		// still imply equal results.
+		b = le.AppendUint64(b, 1)
+		b = le.AppendUint64(b, oracleSalt)
+		global := pair.RegionA.Global
+		if pair.RegionB.Global < global {
+			global = pair.RegionB.Global
+		}
+		b = le.AppendUint64(b, uint64(global))
+	} else {
+		b = le.AppendUint64(b, 0)
+	}
+	return Fingerprint(sha256.Sum256(b))
+}

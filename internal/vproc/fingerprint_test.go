@@ -1,0 +1,169 @@
+package vproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fpSrc races two workers on g (one store, one load) so every seed that
+// interleaves them yields instances with non-trivial live-in memory.
+const fpSrc = `
+.entry main
+.word g 5
+.word h 9
+worker:
+  ldi r2, g
+  ldi r3, h
+  beq r1, r0, reader
+  ldi r4, 41
+wstore:
+  st [r2+0], r4
+  ld r5, [r3+0]
+  ldi r1, 0
+  sys exit
+reader:
+rload:
+  ld r4, [r2+0]
+  ld r5, [r3+0]
+  ldi r1, 0
+  sys exit
+` + spawnTwoTail
+
+// TestFingerprintDistinguishesLiveInMemory is the collision unit test
+// the cache's soundness rests on: two instances whose live-in memory
+// differs must not share a fingerprint, because the replay would read
+// different values.
+func TestFingerprintDistinguishesLiveInMemory(t *testing.T) {
+	tested := false
+	for seed := int64(1); seed <= 15 && !tested; seed++ {
+		exec, rep := pipeline(t, fpSrc, seed)
+		for _, race := range rep.Races {
+			for _, inst := range race.Instances {
+				pair := pairOf(inst)
+				before := NewFingerprinter(exec).Instance(pair, Options{}, 0)
+
+				// Mutate one live-in memory value the replay can read. The
+				// fingerprinter caches region digests, so a fresh one is
+				// built for the mutated execution.
+				region := pair.RegionA
+				if len(region.LiveIn) == 0 {
+					region = pair.RegionB
+				}
+				if len(region.LiveIn) == 0 {
+					continue
+				}
+				var addr uint64
+				for a := range region.LiveIn {
+					addr = a
+					break
+				}
+				old := region.LiveIn[addr]
+				region.LiveIn[addr] = old + 1
+				after := NewFingerprinter(exec).Instance(pair, Options{}, 0)
+				region.LiveIn[addr] = old
+
+				if before == after {
+					t.Fatalf("seed %d %s: fingerprint unchanged after mutating live-in mem[0x%x]",
+						seed, race.Sites, addr)
+				}
+				tested = true
+			}
+		}
+	}
+	if !tested {
+		t.Fatal("no instance with live-in memory was ever observed")
+	}
+}
+
+// TestFingerprintCanonicalizesPairOrder: the fingerprint is a property
+// of the instance, not of how the caller ordered the regions — swapping
+// A and B (with their indices and PCs) must hash identically, exactly
+// as AnalyzeOpts canonicalizes before replaying.
+func TestFingerprintCanonicalizesPairOrder(t *testing.T) {
+	checked := false
+	for seed := int64(1); seed <= 10 && !checked; seed++ {
+		exec, rep := pipeline(t, fpSrc, seed)
+		fper := NewFingerprinter(exec)
+		for _, race := range rep.Races {
+			for _, inst := range race.Instances {
+				pair := pairOf(inst)
+				swapped := RacePair{
+					RegionA: pair.RegionB, RegionB: pair.RegionA,
+					IdxA: pair.IdxB, IdxB: pair.IdxA,
+					PCA: pair.PCB, PCB: pair.PCA,
+					Addr: pair.Addr,
+				}
+				if fper.Instance(pair, Options{}, 0) != fper.Instance(swapped, Options{}, 0) {
+					t.Fatalf("seed %d %s: swapped pair fingerprints differ", seed, race.Sites)
+				}
+				checked = true
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no race instance was ever observed")
+	}
+}
+
+// TestEqualFingerprintsEqualResults pins the cache's contract on real
+// executions: within and across recordings, instances that hash equal
+// must analyze equal — the invariant that makes returning a cached
+// result verbatim sound.
+func TestEqualFingerprintsEqualResults(t *testing.T) {
+	type entry struct {
+		res   Result
+		seed  int64
+		sites string
+	}
+	byFp := make(map[Fingerprint]entry)
+	collisions := 0
+	for _, seed := range []int64{3, 3, 5, 7} { // seed 3 twice: identical recordings must collide
+		exec, rep := pipeline(t, fpSrc, seed)
+		fper := NewFingerprinter(exec)
+		for _, race := range rep.Races {
+			for _, inst := range race.Instances {
+				pair := pairOf(inst)
+				fp := fper.Instance(pair, Options{}, 0)
+				res := AnalyzeOpts(exec, pair, Options{})
+				if prev, ok := byFp[fp]; ok {
+					collisions++
+					if !reflect.DeepEqual(prev.res, res) {
+						t.Fatalf("fingerprint collision with unequal results:\n seed %d %s: %+v\n seed %d %s: %+v",
+							prev.seed, prev.sites, prev.res, seed, race.Sites, res)
+					}
+				} else {
+					byFp[fp] = entry{res, seed, race.Sites.String()}
+				}
+			}
+		}
+	}
+	if collisions == 0 {
+		t.Fatal("re-recording the same seed produced no equal fingerprints — cache would never hit")
+	}
+}
+
+// TestAnalyzeScratchMatchesAnalyzeOpts: one Scratch reused across every
+// instance must yield results deeply equal to fresh-allocation analysis —
+// the allocation-lean path cannot leak state between instances.
+func TestAnalyzeScratchMatchesAnalyzeOpts(t *testing.T) {
+	var sc Scratch
+	instances := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		exec, rep := pipeline(t, fpSrc, seed)
+		for _, race := range rep.Races {
+			for _, inst := range race.Instances {
+				pair := pairOf(inst)
+				fresh := AnalyzeOpts(exec, pair, Options{})
+				reused := AnalyzeScratch(exec, pair, Options{}, &sc)
+				if !reflect.DeepEqual(fresh, reused) {
+					t.Fatalf("seed %d %s: scratch result %+v != fresh result %+v",
+						seed, race.Sites, reused, fresh)
+				}
+				instances++
+			}
+		}
+	}
+	if instances == 0 {
+		t.Fatal("no race instance was ever observed")
+	}
+}

@@ -119,6 +119,58 @@ func Analyze(exec *replay.Execution, pair RacePair) Result {
 // AnalyzeOpts replays the race instance in both orders under the given
 // options and classifies it.
 func AnalyzeOpts(exec *replay.Execution, pair RacePair, opts Options) Result {
+	return AnalyzeScratch(exec, pair, opts, nil)
+}
+
+// Scratch holds the reusable working state of one virtual-processor
+// invocation: the copy-on-read memory views, heap bookkeeping, and the
+// comparison buffers. A worker that analyzes many instances passes the
+// same Scratch to every AnalyzeScratch call and pays the map and slice
+// allocations only once; the maps are cleared, not reallocated, between
+// instances. A Scratch must not be shared between concurrent calls.
+// Results never alias scratch memory, so they stay valid (and safe to
+// cache) after the scratch is reused.
+type Scratch struct {
+	// Two slots: the original order's live-out memory must survive while
+	// the alternative order runs, so the two runs cannot share one set of
+	// maps.
+	slots [2]vpScratch
+	addrs []uint64 // compare's sorted written-address buffer
+}
+
+type vpScratch struct {
+	local   map[uint64]uint64
+	written map[uint64]uint64
+	freed   map[uint64]bool
+	blocks  map[uint64]uint64
+	output  []int64
+
+	// In-place homes for the per-order working structs. runOrder re-
+	// initializes them on entry, so only the maps and slices above carry
+	// state (deliberately) across instances.
+	vp     vp
+	ta, tb vpThread
+	state  runState
+}
+
+func (s *vpScratch) reset() {
+	if s.local == nil {
+		s.local = make(map[uint64]uint64)
+		s.written = make(map[uint64]uint64)
+		s.freed = make(map[uint64]bool)
+		s.blocks = make(map[uint64]uint64)
+	} else {
+		clear(s.local)
+		clear(s.written)
+		clear(s.freed)
+		clear(s.blocks)
+	}
+	s.output = s.output[:0]
+}
+
+// AnalyzeScratch is AnalyzeOpts reusing sc's buffers for the replay's
+// working state. A nil sc allocates fresh state (exactly AnalyzeOpts).
+func AnalyzeScratch(exec *replay.Execution, pair RacePair, opts Options, sc *Scratch) Result {
 	// Canonicalize: region A is the earlier-scheduled region. The
 	// "original order" approximation and the prefix execution order are
 	// defined by the schedule, not by how the caller happened to present
@@ -128,11 +180,14 @@ func AnalyzeOpts(exec *replay.Execution, pair RacePair, opts Options) Result {
 		pair.IdxA, pair.IdxB = pair.IdxB, pair.IdxA
 		pair.PCA, pair.PCB = pair.PCB, pair.PCA
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	reg := opts.Metrics
 	reg.Counter("vproc.instances_analyzed").Inc()
 	reg.Counter("vproc.order_replays").Add(2)
-	orig, failO := runOrder(exec, pair, true, opts)
-	alt, failA := runOrder(exec, pair, false, opts)
+	orig, failO := runOrder(exec, pair, true, opts, &sc.slots[0])
+	alt, failA := runOrder(exec, pair, false, opts, &sc.slots[1])
 	if failO != "" {
 		reg.Counter("vproc.order_failures_original").Inc()
 		return Result{Outcome: ReplayFailure, FailReason: "original order: " + failO}
@@ -141,7 +196,7 @@ func AnalyzeOpts(exec *replay.Execution, pair RacePair, opts Options) Result {
 		reg.Counter("vproc.order_failures_alternative").Inc()
 		return Result{Outcome: ReplayFailure, FailReason: "alternative order: " + failA}
 	}
-	diffs := compare(orig, alt)
+	diffs := compare(orig, alt, sc)
 	if len(diffs) == 0 {
 		return Result{Outcome: NoStateChange}
 	}
@@ -161,11 +216,12 @@ type runState struct {
 // runOrder executes the schedule with the racing pair in the given order
 // (aFirst=true is the approximated original order). It returns the final
 // state or a failure reason.
-func runOrder(exec *replay.Execution, pair RacePair, aFirst bool, opts Options) (*runState, string) {
-	v := newVP(exec, pair)
+func runOrder(exec *replay.Execution, pair RacePair, aFirst bool, opts Options, sc *vpScratch) (*runState, string) {
+	v := newVP(exec, pair, sc)
+	defer func() { sc.output = v.output }() // keep the grown buffer for reuse
 	v.oracle = opts.Oracle
-	ta := v.newThread(pair.RegionA)
-	tb := v.newThread(pair.RegionB)
+	ta := v.newThread(pair.RegionA, &sc.ta)
+	tb := v.newThread(pair.RegionB, &sc.tb)
 
 	// Prefixes: each region up to (excluding) its racing operation.
 	if msg := ta.runSteps(pair.IdxA - pair.RegionA.StartIdx); msg != "" {
@@ -213,17 +269,21 @@ func runOrder(exec *replay.Execution, pair RacePair, aFirst bool, opts Options) 
 		return nil, "step budget exhausted before the regions completed"
 	}
 
-	return &runState{
+	st := &sc.state
+	*st = runState{
 		tidA: pair.RegionA.TID, tidB: pair.RegionB.TID,
 		cpuA: ta.cpu, cpuB: tb.cpu,
 		doneA: ta.done, doneB: tb.done,
 		written: v.written,
 		output:  v.output,
-	}, ""
+	}
+	return st, ""
 }
 
-// compare diffs two run states.
-func compare(o, a *runState) []Diff {
+// compare diffs two run states. The returned diffs are freshly
+// allocated (they escape into the Result); only the address-collation
+// buffer comes from the scratch.
+func compare(o, a *runState, sc *Scratch) []Diff {
 	var diffs []Diff
 	cmpCpu := func(tid int, x, y machine.Cpu, dx, dy bool) {
 		for i := range x.Regs {
@@ -241,19 +301,22 @@ func compare(o, a *runState) []Diff {
 	cmpCpu(o.tidA, o.cpuA, a.cpuA, o.doneA, a.doneA)
 	cmpCpu(o.tidB, o.cpuB, a.cpuB, o.doneB, a.doneB)
 
-	addrs := make(map[uint64]bool)
+	// Union of written addresses in ascending order: collect both key
+	// sets, sort, and skip adjacent duplicates (cheaper than a set map,
+	// same iteration order).
+	sorted := sc.addrs[:0]
 	for k := range o.written {
-		addrs[k] = true
+		sorted = append(sorted, k)
 	}
 	for k := range a.written {
-		addrs[k] = true
-	}
-	sorted := make([]uint64, 0, len(addrs))
-	for k := range addrs {
 		sorted = append(sorted, k)
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, k := range sorted {
+	sc.addrs = sorted
+	for i, k := range sorted {
+		if i > 0 && sorted[i-1] == k {
+			continue
+		}
 		x, y := o.written[k], a.written[k]
 		if x != y {
 			diffs = append(diffs, Diff{Kind: "mem", TID: -1, Index: k, Orig: x, Alt: y})
@@ -294,16 +357,19 @@ type vp struct {
 	output     []int64
 }
 
-func newVP(exec *replay.Execution, pair RacePair) *vp {
-	v := &vp{
+func newVP(exec *replay.Execution, pair RacePair, sc *vpScratch) *vp {
+	sc.reset()
+	v := &sc.vp
+	*v = vp{
 		exec:      exec,
 		regA:      pair.RegionA,
 		regB:      pair.RegionB,
-		local:     make(map[uint64]uint64),
-		written:   make(map[uint64]uint64),
+		local:     sc.local,
+		written:   sc.written,
 		heapEpoch: pair.RegionA.HeapEpoch,
-		freed:     make(map[uint64]bool),
-		blocks:    make(map[uint64]uint64),
+		freed:     sc.freed,
+		blocks:    sc.blocks,
+		output:    sc.output,
 		// Virtual allocations land far above anything real so they never
 		// collide with recorded addresses; both orders allocate the same
 		// way, keeping the comparison fair.
@@ -350,14 +416,14 @@ type vpThread struct {
 	fail    string
 }
 
-func (v *vp) newThread(region *replay.Region) *vpThread {
+func (v *vp) newThread(region *replay.Region, t *vpThread) *vpThread {
 	// The region's closing sync instruction is the opener of the thread's
 	// next region; reaching its pc means the region completed.
 	closePC := -1
 	if th := v.exec.Thread(region.TID); th != nil && region.Ordinal+1 < len(th.Regions) {
 		closePC = th.Regions[region.Ordinal+1].StartCpu.PC
 	}
-	return &vpThread{
+	*t = vpThread{
 		vp:      v,
 		region:  region,
 		log:     v.exec.Log.Thread(region.TID),
@@ -365,6 +431,7 @@ func (v *vp) newThread(region *replay.Region) *vpThread {
 		idx:     region.StartIdx,
 		closePC: closePC,
 	}
+	return t
 }
 
 // runSteps executes up to n instructions, stopping early if the thread

@@ -54,6 +54,11 @@ type SuiteOptions struct {
 	// is lint-analyzed ahead of execution and its candidates joined
 	// against the dynamic races and verdicts (SuiteRun.Static).
 	Static bool
+	// NoMemo disables the dual-order replay cache for the offline half.
+	// The default (memoization on, one cache shared across the batch)
+	// produces byte-identical suite output; NoMemo exists for
+	// measurement and the equivalence tests.
+	NoMemo bool
 }
 
 // RunSuite records, replays, detects, and classifies every scenario, then
@@ -108,6 +113,9 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	var recs []recording
 	slot := 0
 	for _, base := range Scenarios() {
+		// One assembly per scenario: the program does not depend on the
+		// seed, only the machine configuration does.
+		prog, progErr := base.Program()
 		for k := 0; k < seeds; k++ {
 			s := base
 			s.Seed = base.Seed + int64(7777*k)
@@ -117,9 +125,8 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 			}
 			rec := recording{scenario: s, label: label}
 			err := sched.Guard(reg, func() error {
-				prog, err := s.Program()
-				if err != nil {
-					return fmt.Errorf("program: %w", err)
+				if progErr != nil {
+					return fmt.Errorf("program: %w", progErr)
 				}
 				if reg != nil {
 					if err := runNative(prog, s.Config(), reg); err != nil {
@@ -155,6 +162,7 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 			Scenario: recs[i].label,
 			Seed:     recs[i].scenario.Seed,
 			DB:       opts.DB,
+			NoMemo:   opts.NoMemo,
 		}
 	}, opts.Jobs, reg)
 	run.Quarantined = append(run.Quarantined, quarantined...)

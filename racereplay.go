@@ -59,6 +59,10 @@ type (
 	SitePair = hb.SitePair
 	// Options tunes classification.
 	Options = classify.Options
+	// Memo is the dual-order replay cache: pass one Memo in
+	// Options.Memo to share cached verdicts across executions of the
+	// same program.
+	Memo = classify.Memo
 	// Classification is the per-race verdict set.
 	Classification = classify.Classification
 	// RaceResult is one classified race.
@@ -116,6 +120,11 @@ func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src
 // NewMetrics returns an empty observability registry to pass to the
 // *Instrumented entry points.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewMemo returns an empty dual-order replay cache for Options.Memo.
+// Classification memoizes by default; an explicit shared Memo extends
+// the sharing across executions.
+func NewMemo() *Memo { return classify.NewMemo() }
 
 // Record runs prog under cfg and returns the replay log.
 func Record(prog *Program, cfg Config) (*Log, error) {
