@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench paper fuzz cover clean
+.PHONY: all build test race bench trace paper fuzz cover clean
 
 all: build test
 
@@ -17,8 +17,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/paperbench -bench-out BENCH_5.json
-	$(GO) run ./cmd/paperbench -check-bench BENCH_5.json
+	$(GO) run ./cmd/paperbench -bench-out BENCH_6.json -bench-rounds 5
+	$(GO) run ./cmd/paperbench -check-bench BENCH_6.json
+
+# Regenerate the flight-recorder artifacts: a parallel suite run with the
+# timeline on (load racer-trace.json at https://ui.perfetto.dev) and the
+# verdict-provenance audit trail. The suite exits 1 by design — it
+# reports potentially harmful races — so only exit codes above 1 fail.
+trace:
+	$(GO) run ./cmd/racer suite -seeds 2 -jobs 4 \
+		-trace-out racer-trace.json -audit-out racer-audit.json || test $$? -eq 1
+	@echo "wrote racer-trace.json and racer-audit.json"
 
 paper:
 	$(GO) run ./cmd/paperbench
@@ -33,4 +42,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt racer-trace.json racer-audit.json

@@ -547,3 +547,52 @@ func BenchmarkSuite(b *testing.B) {
 	}
 	b.Run("jobs=8", bench(8))
 }
+
+// BenchmarkTimelineOverhead is the flight recorder's cost contract on
+// the classify hot path, which calls Emit once per memo lookup. With no
+// timeline attached (the default), a registry must add zero allocations
+// over running with no registry at all — asserted, not just reported,
+// so the CI bench smoke trips if an allocation sneaks onto the off
+// path. The timeline=on case reports what turning the recorder on
+// costs.
+func BenchmarkTimelineOverhead(b *testing.B) {
+	log := getBrowseLog(b)
+	exec, err := Replay(log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	races := DetectRaces(exec)
+	classify := func(reg *Metrics) { Classify(exec, races, Options{Parallel: 1, Metrics: reg}) }
+
+	classify(nil) // warm the shared caches outside the measurements
+	base := testing.AllocsPerRun(5, func() { classify(nil) })
+
+	b.Run("timeline=off", func(b *testing.B) {
+		reg := NewMetrics()
+		classify(reg) // populate the counter and span tables
+		// One classify run performs hundreds of memo lookups, each with
+		// an Emit on the hot path; if Emit allocated with the timeline
+		// off, the delta would scale with the instance count. The few
+		// allocations a warmed registry does add are per-run constants
+		// (MemStats snapshots in the stage span), so the budget is a
+		// small constant, not a per-instance allowance.
+		if got := testing.AllocsPerRun(5, func() { classify(reg) }); got > base+4 {
+			b.Errorf("timeline-off hot path allocates: %.1f allocs/op vs %.1f bare (budget +4)", got, base)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			classify(reg)
+		}
+	})
+	b.Run("timeline=on", func(b *testing.B) {
+		reg := NewMetrics()
+		reg.EnableTimeline(0)
+		classify(reg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			classify(reg)
+		}
+	})
+}

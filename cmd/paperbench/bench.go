@@ -13,10 +13,10 @@ import (
 
 // runBenchOut measures the performance-critical paths of the offline
 // pipeline with the machine-readable harness and writes the results to
-// path — the BENCH_5.json artifact EXPERIMENTS.md §5.1 quotes and CI
+// path — the BENCH_6.json artifact EXPERIMENTS.md §5.1 quotes and CI
 // validates. Progress goes to out; the measurements only to the file.
-func runBenchOut(path string, benchTime time.Duration, out io.Writer) error {
-	r := bench.Runner{BenchTime: benchTime}
+func runBenchOut(path string, benchTime time.Duration, rounds int, out io.Writer) error {
+	r := bench.Runner{BenchTime: benchTime, Rounds: rounds}
 	file := bench.NewFile()
 
 	s := workloads.BrowseScenario()
@@ -122,14 +122,37 @@ func runBenchOut(path string, benchTime time.Duration, out io.Writer) error {
 	return nil
 }
 
-// checkBench validates a bench file against the schema — the CI gate.
-func checkBench(path string, out io.Writer) error {
+// checkBench validates a bench file against the schema and, with a
+// baseline, enforces the regression gate: any benchmark whose median
+// ns/op slowed past the tolerance fails the command.
+func checkBench(path, against string, tolerance float64, out io.Writer) error {
 	f, err := bench.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "bench: %s ok (%s, %s/%s, %d cpus, %d benchmarks)\n",
 		path, f.Schema, f.GoOS, f.GoArch, f.CPUs, len(f.Benchmarks))
+	if against == "" {
+		return nil
+	}
+	base, err := bench.ReadFile(against)
+	if err != nil {
+		return err
+	}
+	regressions, compared, err := bench.Compare(base, f, tolerance)
+	if err != nil {
+		return err
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(out, "bench: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
+			r.Name, r.Base, r.Current, r.Ratio, 1+tolerance)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed past +%.0f%% vs %s",
+			len(regressions), compared, tolerance*100, against)
+	}
+	fmt.Fprintf(out, "bench: no regressions past +%.0f%% across %d benchmarks vs %s\n",
+		tolerance*100, compared, against)
 	return nil
 }
 

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestTables(t *testing.T) {
@@ -105,5 +108,55 @@ func TestMarkdownFlag(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "## Table 1") || !strings.Contains(b.String(), "| **Total** |") {
 		t.Errorf("markdown output incomplete")
+	}
+}
+
+// TestBenchRegressionGate drives the CI gate end to end: measure with
+// rounds, pass against an identical baseline, fail against a faked-fast
+// one.
+func TestBenchRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.json")
+	var b strings.Builder
+	if err := realMain([]string{"-bench-out", cur, "-bench-time", "0", "-bench-rounds", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+
+	// A file compared against itself never regresses.
+	b.Reset()
+	if err := realMain([]string{"-check-bench", cur, "-against", cur}, &b); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "no regressions past +25%") {
+		t.Errorf("gate summary missing:\n%s", b.String())
+	}
+
+	// Shrink every baseline number 10x: the current run now regresses.
+	f, err := bench.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Benchmarks {
+		f.Benchmarks[i].NsPerOp /= 10
+		for j := range f.Benchmarks[i].Samples {
+			f.Benchmarks[i].Samples[j] /= 10
+		}
+	}
+	base := filepath.Join(dir, "base.json")
+	if err := f.WriteFile(base); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	err = realMain([]string{"-check-bench", cur, "-against", base}, &b)
+	if err == nil || !strings.Contains(err.Error(), "regressed past +25%") {
+		t.Fatalf("gate did not trip: err = %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("regression lines missing:\n%s", b.String())
+	}
+
+	// Rounds made it into the artifact.
+	if got := len(f.Benchmarks[0].Samples); got != 3 {
+		t.Errorf("benchmark has %d samples, want 3", got)
 	}
 }

@@ -89,6 +89,8 @@ func main() {
 		err = cmdAnalyzeDir(args)
 	case "validate":
 		err = cmdValidate(args)
+	case "audit":
+		err = cmdAudit(args)
 	case "chaos":
 		err = cmdChaos(args)
 	case "profile":
@@ -140,6 +142,8 @@ commands (flags come before the file argument):
   analyze-dir -dir DIR [-db FILE] [-jobs N] [-static]
                                         offline analysis over recorded logs
   validate <LOG...>                     decode + check logs without analyzing
+  audit <FILE.json>                     render a verdict-provenance trail
+                                        written by suite/analyze-dir -audit-out
   chaos [-corruptions N] [-seed S] [-log FILE]
                                         fuzz the decoder with N corrupted log
                                         variants; fails on any panic or
@@ -212,7 +216,10 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	log, err := racereplay.RecordInstrumented(prog, racereplay.Config{Seed: *seed, Policy: pol}, reg)
 	if err != nil {
 		return err
@@ -251,7 +258,10 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	cfg := racereplay.Config{Seed: *seed, Policy: pol}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	var log *racereplay.Log
 	if *keyframes > 0 {
 		// Key-frame recording has no per-event metrics observer; time it
@@ -291,7 +301,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	exec, err := racereplay.ReplayInstrumented(log, reg)
 	if err != nil {
 		return err
@@ -321,7 +334,10 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	exec, err := racereplay.ReplayInstrumented(log, reg)
 	if err != nil {
 		return err
@@ -378,7 +394,10 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	res, err := racereplay.AnalyzeLogInstrumented(log,
 		racereplay.Options{DB: db, Scenario: log.Prog.Name, Seed: log.Seed}, reg)
 	if err != nil {
@@ -416,7 +435,10 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	res, err := racereplay.AnalyzeInstrumented(prog, s.Config(), racereplay.Options{
 		Scenario: s.Name, Seed: s.Seed, DB: db,
 	}, reg)
@@ -437,13 +459,17 @@ func cmdSuite(args []string) error {
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
 	benchOut := fs.String("bench-out", "", "also write a machine-readable timing sample of this run as bench JSON (stdout is unchanged)")
+	auditOut := fs.String("audit-out", "", "write the verdict-provenance trail (racereplay-audit/v1 JSON) to this file")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	if *benchOut != "" && reg == nil {
 		// The bench sample reads the memo counters; a private registry
 		// keeps -bench-out independent of the -metrics flags without
@@ -456,9 +482,15 @@ func cmdSuite(args []string) error {
 	start := time.Now()
 	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
 		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg, Static: *staticStage,
+		Audit: *auditOut != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *auditOut != "" {
+		if err := run.Audit.WriteFile(*auditOut); err != nil {
+			return err
+		}
 	}
 	if *benchOut != "" {
 		if err := writeSuiteBench(*benchOut, *seeds, *jobs, time.Since(start), memBefore, reg); err != nil {
@@ -521,7 +553,10 @@ func cmdLint(args []string) error {
 	scenario := fs.String("scenario", "", "lint a built-in workload scenario instead of a file")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	var progs []*racereplay.Program
 	if *scenario != "" {
 		s, err := workloads.FindScenario(*scenario)
@@ -604,7 +639,10 @@ func cmdRecordSuite(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 
 	// Every (scenario, seed) recording is an independent deterministic
 	// machine run, so unlike the live suite the online half can fan out
@@ -677,13 +715,17 @@ func cmdAnalyzeDir(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
+	auditOut := fs.String("audit-out", "", "write the verdict-provenance trail (racereplay-audit/v1 JSON) to this file")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
 	if err != nil {
 		return err
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	entries, err := filepath.Glob(filepath.Join(*dir, "*.rlog"))
 	if err != nil {
 		return err
@@ -695,28 +737,71 @@ func cmdAnalyzeDir(args []string) error {
 	// Corrupt or unreadable logs quarantine instead of aborting the
 	// batch: the analysis completes over the healthy files and the
 	// report lists every excluded one with its typed error (exit 2).
+	// Audit envelopes are slot-indexed by directory order, quarantined
+	// files included, so the trail covers every input.
 	var logs []*racereplay.Log
 	var labels []string
+	var slotOf []int
 	var quarantined []racereplay.Quarantined
+	var audits []*racereplay.AuditExecution
+	decodeSp := reg.StartSpan("decode")
 	for i, path := range entries {
+		label := filepath.Base(path)
 		log, err := loadLog(path)
 		if err == nil {
 			err = racereplay.ValidateLog(log)
 		}
+		var ae *racereplay.AuditExecution
+		if *auditOut != "" {
+			ae = &racereplay.AuditExecution{Scenario: label}
+			audits = append(audits, ae)
+		}
 		if err != nil {
 			quarantined = append(quarantined, racereplay.Quarantined{
-				Index: i, Label: filepath.Base(path), Err: err,
+				Index: i, Label: label, Err: err,
 			})
 			reg.Counter("robust.quarantined").Inc()
+			reg.EmitLabeled("quarantine", label, uint64(i))
+			reg.Logger().Warn("log quarantined at decode",
+				"file", label, "err", err.Error())
+			if ae != nil {
+				ae.Quarantined = err.Error()
+			}
 			continue
 		}
+		reg.EmitLabeled("decode", label, log.Instructions())
+		if ae != nil {
+			ae.Seed = log.Seed
+			ae.LogSHA256 = racereplay.LogDigest(log)
+		}
 		logs = append(logs, log)
-		labels = append(labels, filepath.Base(path))
+		labels = append(labels, label)
+		slotOf = append(slotOf, i)
 	}
+	decodeSp.End()
 	results, analysisQuarantined := racereplay.AnalyzeLogsInstrumented(logs, func(i int) racereplay.Options {
-		return racereplay.Options{Scenario: labels[i], Seed: logs[i].Seed, DB: db}
+		o := racereplay.Options{Scenario: labels[i], Seed: logs[i].Seed, DB: db}
+		if *auditOut != "" {
+			o.Audit = audits[slotOf[i]]
+		}
+		return o
 	}, *jobs, reg)
 	quarantined = append(quarantined, analysisQuarantined...)
+	if *auditOut != "" {
+		for _, q := range analysisQuarantined {
+			ae := audits[slotOf[q.Index]]
+			ae.Quarantined = q.Err.Error()
+			ae.Races = nil
+		}
+		file := racereplay.NewAuditFile()
+		for _, ae := range audits {
+			file.Executions = append(file.Executions, *ae)
+		}
+		file.DeriveCacheHits()
+		if err := file.WriteFile(*auditOut); err != nil {
+			return err
+		}
+	}
 	var parts []*racereplay.Classification
 	for _, res := range results {
 		if res != nil {
@@ -787,28 +872,60 @@ func staticOverDir(labels []string, results []*racereplay.Result, reg *racerepla
 // command itself only errors when given no files.
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("validate wants one or more log files")
 	}
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
+	sp := reg.StartSpan("decode")
 	bad := 0
-	for _, path := range fs.Args() {
+	for i, path := range fs.Args() {
+		label := filepath.Base(path)
 		log, err := loadLog(path)
 		if err == nil {
 			err = racereplay.ValidateLog(log)
 		}
+		reg.Counter("validate.files").Inc()
 		if err != nil {
 			bad++
+			reg.Counter("validate.invalid").Inc()
+			reg.EmitLabeled("quarantine", label, uint64(i))
+			reg.Logger().Warn("invalid log", "file", label, "err", err.Error())
 			fmt.Fprintf(stdout, "%s: INVALID: %v\n", path, err)
 			continue
 		}
+		reg.Counter("validate.instructions").Add(log.Instructions())
+		reg.Counter("validate.threads").Add(uint64(len(log.Threads)))
+		reg.EmitLabeled("decode", label, log.Instructions())
 		fmt.Fprintf(stdout, "%s: ok (%d instructions, %d threads)\n",
 			path, log.Instructions(), len(log.Threads))
 	}
+	sp.End()
 	if bad > 0 {
 		fmt.Fprintf(stdout, "%d of %d logs invalid\n", bad, fs.NArg())
 		raiseExit(2)
 	}
+	return metrics.emit(reg)
+}
+
+// cmdAudit renders a verdict-provenance trail (written by the suite or
+// analyze-dir -audit-out flag) as the human-readable audit section —
+// the quick way to read back which replay evidence produced a verdict.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("audit wants exactly one racereplay-audit JSON file")
+	}
+	f, err := racereplay.ReadAuditFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, racereplay.AuditSection(f))
 	return nil
 }
 
@@ -850,7 +967,10 @@ func cmdChaos(args []string) error {
 		}
 		container = buf.Bytes()
 	}
-	reg := metrics.registry()
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
 	rep := chaos.Run(container, *n, *seed, reg)
 	fmt.Fprint(stdout, rep.Summary())
 	if err := metrics.emit(reg); err != nil {

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -24,19 +26,35 @@ var profileReady func(addr string)
 //
 //	/metrics        Prometheus exposition format
 //	/metrics.json   the same snapshot as JSON
+//	/trace          the flight-recorder timeline as Chrome trace JSON
 //	/debug/pprof/   the standard Go profiler endpoints
 //
 // With -hold the server stays up after the iterations finish, so an
 // external scraper (or a browser) can inspect the final state.
+//
+// SIGINT/SIGTERM shut the command down gracefully at any point: the
+// loop stops after the in-flight operation, the final overhead ladder
+// (and -trace-out timeline, if requested) is still written, the server
+// drains, and the exit status is 0 — an operator stopping the process
+// loses no observability data.
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address for metrics + pprof")
 	seeds := fs.Int("seeds", 1, "scheduler seeds per scenario per iteration")
 	iterations := fs.Int("iterations", 1, "suite iterations to run")
 	hold := fs.Duration("hold", 0, "keep serving this long after the last iteration")
+	traceOut := fs.String("trace-out", "",
+		"also write the final timeline as Chrome trace JSON to this file on exit")
 	fs.Parse(args)
 
+	// A first signal flips ctx and the run winds down cleanly; a second
+	// signal restores default handling (i.e. kills the process), so a
+	// wedged run can still be stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	reg := racereplay.NewMetrics()
+	reg.EnableTimeline(0)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -50,6 +68,11 @@ func cmdProfile(args []string) error {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprint(w, reg.Snapshot().JSON())
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="racer-trace.json"`)
+		reg.Timeline().WriteTrace(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -58,27 +81,43 @@ func cmdProfile(args []string) error {
 	srv := &http.Server{Handler: mux}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "profiling server on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
+	fmt.Fprintf(stdout, "profiling server on http://%s (metrics at /metrics, timeline at /trace, pprof at /debug/pprof/)\n",
 		ln.Addr())
 	if profileReady != nil {
 		profileReady(ln.Addr().String())
 	}
 
-	for i := 0; i < *iterations; i++ {
+	interrupted := false
+	for i := 0; i < *iterations && !interrupted; i++ {
 		if _, err := racereplay.RunSuiteSeedsInstrumented(nil, *seeds, reg); err != nil {
 			srv.Close()
 			return err
 		}
 		fmt.Fprintf(stdout, "iteration %d/%d done\n", i+1, *iterations)
+		if ctx.Err() != nil {
+			interrupted = true
+		}
+	}
+	if interrupted {
+		fmt.Fprint(stdout, "interrupted: flushing and shutting down\n")
 	}
 	fmt.Fprint(stdout, report.OverheadLadder(reg.Snapshot()))
-	if *hold > 0 {
-		fmt.Fprintf(stdout, "holding for %v...\n", *hold)
-		time.Sleep(*hold)
+	if *traceOut != "" {
+		if err := writeTraceFile(reg, *traceOut); err != nil {
+			return err
+		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if *hold > 0 && !interrupted {
+		fmt.Fprintf(stdout, "holding for %v...\n", *hold)
+		select {
+		case <-time.After(*hold):
+		case <-ctx.Done():
+			fmt.Fprint(stdout, "interrupted: shutting down\n")
+		}
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	srv.Shutdown(ctx)
+	srv.Shutdown(sctx)
 	<-done
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 )
 
@@ -29,9 +30,28 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  uint64  `json:"bytes_per_op"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
+	// Samples holds the per-round ns/op measurements when the runner
+	// took more than one round; NsPerOp is then their median, which is
+	// what regression comparisons use.
+	Samples []float64 `json:"samples,omitempty"`
 	// Metrics carries benchmark-specific values (e.g. "hitrate" for the
 	// memoized classification benchmarks), mirroring b.ReportMetric.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Median returns the benchmark's representative ns/op: the median of
+// the recorded samples, or NsPerOp when only one round was taken.
+func (r Result) Median() float64 {
+	if len(r.Samples) == 0 {
+		return r.NsPerOp
+	}
+	s := append([]float64(nil), r.Samples...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
 }
 
 // File is the versioned envelope written to disk.
@@ -60,6 +80,11 @@ type Runner struct {
 	// BenchTime is the per-benchmark measurement budget; values <= 0
 	// mean one iteration (the CI smoke configuration, -benchtime=1x).
 	BenchTime time.Duration
+	// Rounds repeats the measurement after the iteration count settles
+	// and records per-round samples; NsPerOp becomes their median, which
+	// damps scheduler noise for regression gating. Values <= 1 keep the
+	// single-round behavior.
+	Rounds int
 }
 
 // Run measures f and appends the result to file. f receives the
@@ -98,14 +123,72 @@ func (r Runner) Run(file *File, name string, f func(n int)) *Result {
 		}
 		n = next
 	}
-	file.Benchmarks = append(file.Benchmarks, Result{
+	res := Result{
 		Name:        name,
 		N:           n,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
 		BytesPerOp:  bytes / uint64(n),
 		AllocsPerOp: mallocs / uint64(n),
-	})
+	}
+	if r.Rounds > 1 {
+		// The iteration count is settled; re-run it Rounds-1 more times
+		// and let the median speak for the benchmark.
+		res.Samples = append(res.Samples, res.NsPerOp)
+		for round := 1; round < r.Rounds; round++ {
+			runtime.GC()
+			start := time.Now()
+			f(n)
+			res.Samples = append(res.Samples, float64(time.Since(start).Nanoseconds())/float64(n))
+		}
+		res.NsPerOp = res.Median()
+	}
+	file.Benchmarks = append(file.Benchmarks, res)
 	return &file.Benchmarks[len(file.Benchmarks)-1]
+}
+
+// Regression is one benchmark that slowed past the comparison tolerance.
+type Regression struct {
+	Name          string
+	Base, Current float64 // median ns/op
+	Ratio         float64 // Current / Base
+}
+
+// Compare diffs cur against base by median ns/op and returns every
+// benchmark whose slowdown exceeds tolerance (0.25 = fail above +25%),
+// plus the number of benchmarks present in both files. Benchmarks that
+// exist on only one side are skipped — renames must not fail the gate —
+// but an empty intersection is an error, since it means the gate
+// compared nothing.
+func Compare(base, cur *File, tolerance float64) ([]Regression, int, error) {
+	if err := base.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("current: %w", err)
+	}
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regressions []Regression
+	compared := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseline[c.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		bm, cm := b.Median(), c.Median()
+		if cm > bm*(1+tolerance) {
+			regressions = append(regressions, Regression{
+				Name: c.Name, Base: bm, Current: cm, Ratio: cm / bm,
+			})
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("no benchmarks in common between baseline and current file")
+	}
+	return regressions, compared, nil
 }
 
 // Validate checks the envelope against the schema CI enforces: right
@@ -138,6 +221,11 @@ func (f *File) Validate() error {
 		}
 		if b.NsPerOp <= 0 || math.IsNaN(b.NsPerOp) || math.IsInf(b.NsPerOp, 0) {
 			return fmt.Errorf("%s: ns_per_op = %v, want finite > 0", b.Name, b.NsPerOp)
+		}
+		for j, s := range b.Samples {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return fmt.Errorf("%s: sample %d = %v, want finite > 0", b.Name, j, s)
+			}
 		}
 		for k, v := range b.Metrics {
 			if math.IsNaN(v) || math.IsInf(v, 0) {

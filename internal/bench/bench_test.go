@@ -59,6 +59,7 @@ func TestValidateRejects(t *testing.T) {
 		{"zero n", func(f *File) { f.Benchmarks[0].N = 0 }, "n ="},
 		{"zero ns", func(f *File) { f.Benchmarks[0].NsPerOp = 0 }, "ns_per_op"},
 		{"nan metric", func(f *File) { f.Benchmarks[0].Metrics = map[string]float64{"hitrate": math.NaN()} }, "metric"},
+		{"bad sample", func(f *File) { f.Benchmarks[0].Samples = []float64{10, -1} }, "sample"},
 	}
 	for _, c := range cases {
 		f := good()
@@ -67,6 +68,87 @@ func TestValidateRejects(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestRunnerRounds: multi-round runs record one sample per round and
+// report the median, so one noisy round cannot move the headline number.
+func TestRunnerRounds(t *testing.T) {
+	r := Runner{BenchTime: time.Millisecond, Rounds: 5}
+	file := NewFile()
+	res := r.Run(file, "spin", func(n int) {
+		for i := 0; i < n; i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
+	})
+	if len(res.Samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(res.Samples))
+	}
+	if res.NsPerOp != res.Median() {
+		t.Errorf("NsPerOp %v != median %v", res.NsPerOp, res.Median())
+	}
+	if err := file.Validate(); err != nil {
+		t.Errorf("multi-round file invalid: %v", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := (Result{NsPerOp: 7}).Median(); got != 7 {
+		t.Errorf("sampleless median = %v, want NsPerOp", got)
+	}
+	if got := (Result{Samples: []float64{9, 1, 5}}).Median(); got != 5 {
+		t.Errorf("odd median = %v, want 5", got)
+	}
+	if got := (Result{Samples: []float64{1, 9, 3, 5}}).Median(); got != 4 {
+		t.Errorf("even median = %v, want 4", got)
+	}
+}
+
+// TestCompare: the regression gate trips only past the tolerance, uses
+// medians, tolerates renames, and refuses an empty intersection.
+func TestCompare(t *testing.T) {
+	mk := func(results ...Result) *File {
+		f := NewFile()
+		f.Benchmarks = results
+		return f
+	}
+	base := mk(
+		Result{Name: "a", N: 1, NsPerOp: 100, Samples: []float64{90, 100, 110}},
+		Result{Name: "b", N: 1, NsPerOp: 100},
+		Result{Name: "gone", N: 1, NsPerOp: 100},
+	)
+	cur := mk(
+		// Median 120: within +25% of baseline median 100 even though one
+		// sample spiked to 500.
+		Result{Name: "a", N: 1, NsPerOp: 120, Samples: []float64{110, 120, 500}},
+		Result{Name: "b", N: 1, NsPerOp: 130},
+		Result{Name: "new", N: 1, NsPerOp: 100},
+	)
+	regressions, compared, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2 (renames skipped)", compared)
+	}
+	if len(regressions) != 1 || regressions[0].Name != "b" {
+		t.Fatalf("regressions = %+v, want just b", regressions)
+	}
+	if r := regressions[0]; r.Base != 100 || r.Current != 130 || r.Ratio != 1.3 {
+		t.Errorf("regression record = %+v", r)
+	}
+
+	if _, _, err := Compare(base, cur, 0.5); err != nil {
+		t.Fatal(err)
+	} else if regs, _, _ := Compare(base, cur, 0.5); len(regs) != 0 {
+		t.Errorf("tolerance 0.5 still flagged %+v", regs)
+	}
+
+	if _, _, err := Compare(base, mk(Result{Name: "other", N: 1, NsPerOp: 1}), 0.25); err == nil {
+		t.Error("empty intersection accepted")
+	}
+	if _, _, err := Compare(&File{}, cur, 0.25); err == nil {
+		t.Error("invalid baseline accepted")
 	}
 }
 

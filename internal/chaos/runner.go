@@ -101,16 +101,27 @@ func Run(container []byte, n int, seed int64, reg *obs.Registry) *Report {
 		if t.Panicked {
 			rep.Panics++
 			reg.Counter("chaos.panics").Inc()
+			reg.EmitLabeled("chaos.violation", "panic", uint64(i))
+			reg.Logger().Error("chaos contract violation",
+				"violation", "panic", "trial", i, "kind", kind.String())
 		}
 		if t.Unbounded {
 			rep.Unbounded++
 			reg.Counter("chaos.unbounded_allocs").Inc()
+			reg.EmitLabeled("chaos.violation", "unbounded-alloc", uint64(i))
+			reg.Logger().Error("chaos contract violation",
+				"violation", "unbounded-alloc", "trial", i, "kind", kind.String(),
+				"alloc_bytes", t.AllocBytes, "input_bytes", t.InputBytes)
 		}
 		if t.Err != nil {
 			rep.Rejected++
 			if !typedError(t.Err) {
 				rep.Untyped++
 				reg.Counter("chaos.untyped_errors").Inc()
+				reg.EmitLabeled("chaos.violation", "untyped-error", uint64(i))
+				reg.Logger().Error("chaos contract violation",
+					"violation", "untyped-error", "trial", i, "kind", kind.String(),
+					"err", t.Err.Error())
 			}
 		} else if !t.Panicked {
 			rep.Accepted++

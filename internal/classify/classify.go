@@ -14,10 +14,14 @@
 package classify
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/hb"
 	"repro/internal/obs"
 	"repro/internal/replay"
@@ -232,6 +236,15 @@ type Options struct {
 	// one per batch). Nil means Run builds a private per-Run cache,
 	// unless NoMemo is set.
 	Memo *Memo
+	// Audit, when set, receives this execution's verdict provenance:
+	// Run appends one audit.Race per classified race, in report order,
+	// each instance carrying its live-in fingerprint and both replay
+	// orders' outcomes. The caller owns the execution envelope
+	// (scenario, seed, log hash) and the file-level CacheHit
+	// derivation (audit.File.DeriveCacheHits) — Run leaves CacheHit
+	// false, because the runtime hit pattern depends on worker
+	// interleaving while the audit trail must not.
+	Audit *audit.Execution
 }
 
 // Run analyzes every instance of every race in report and returns the
@@ -286,12 +299,33 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	if memo == nil && !opts.NoMemo {
 		memo = NewMemo()
 	}
+	// The audit trail needs fingerprints even with the memo off, so the
+	// fingerprinter exists whenever either consumer does.
 	var fper *vproc.Fingerprinter
 	var salt uint64
-	if memo != nil {
+	if memo != nil || opts.Audit != nil {
 		fper = vproc.NewFingerprinter(exec)
 		if opts.UseOracle {
-			salt = oracleSalts.Add(1)
+			if opts.Audit != nil {
+				// Audited fingerprints land in a file that must be
+				// byte-identical across runs, so the oracle salt is
+				// derived from the execution's identity instead of the
+				// process-local counter. Still constant within the Run
+				// and distinct across scenarios, which is all the memo
+				// requires of it.
+				h := sha256.Sum256(binary.LittleEndian.AppendUint64(
+					[]byte(opts.Scenario+"\x00"), uint64(opts.Seed)))
+				salt = binary.LittleEndian.Uint64(h[:8])
+			} else {
+				salt = oracleSalts.Add(1)
+			}
+		}
+	}
+	var fps [][]vproc.Fingerprint
+	if opts.Audit != nil {
+		fps = make([][]vproc.Fingerprint, len(report.Races))
+		for ri := range instances {
+			fps[ri] = make([]vproc.Fingerprint, len(instances[ri]))
 		}
 	}
 	cHits := opts.Metrics.Counter("classify.memo.hits")
@@ -308,15 +342,23 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 		// records a ReplayFailure outcome instead of crashing the batch.
 		err := sched.Guard(opts.Metrics, func() error {
 			pair := racePair(instances[w.race][w.inst])
+			var fp vproc.Fingerprint
+			if fper != nil {
+				fp = fper.Instance(pair, vopts, salt)
+				if fps != nil {
+					fps[w.race][w.inst] = fp
+				}
+			}
 			if memo != nil {
-				fp := fper.Instance(pair, vopts, salt)
 				if res, ok := memo.Lookup(fp); ok {
 					cHits.Inc()
+					opts.Metrics.Emit("classify.memo.hit", uint64(w.race))
 					countCachedReplay(opts.Metrics, res)
 					results[w.race][w.inst] = res
 					return nil
 				}
 				cMisses.Inc()
+				opts.Metrics.Emit("classify.memo.miss", uint64(w.race))
 				res := vproc.AnalyzeScratch(exec, pair, vopts, &scratches[wk])
 				memo.Store(fp, res)
 				results[w.race][w.inst] = res
@@ -326,9 +368,15 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 			return nil
 		})
 		if err != nil {
+			reason := fmt.Sprintf("panic during dual-order replay: %v", err)
+			// The panic interrupted the dual replay, so neither order has
+			// an individual outcome; the audit trail records the panic for
+			// both rather than claiming either order ran clean.
 			results[w.race][w.inst] = vproc.Result{
 				Outcome:    vproc.ReplayFailure,
-				FailReason: fmt.Sprintf("panic during dual-order replay: %v", err),
+				FailReason: reason,
+				OrigFail:   reason,
+				AltFail:    reason,
 			}
 		}
 	})
@@ -337,6 +385,10 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 	}
 
 	cls := &Classification{}
+	var auditRaces map[*RaceResult]audit.Race
+	if opts.Audit != nil {
+		auditRaces = make(map[*RaceResult]audit.Race, len(report.Races))
+	}
 	for ri, race := range report.Races {
 		rr := &RaceResult{Sites: race.Sites}
 		kinds := make(map[vproc.Outcome]int)
@@ -377,10 +429,49 @@ func Run(exec *replay.Execution, report *hb.Report, opts Options) *Classificatio
 		if opts.DB != nil && opts.DB.IsMarkedBenign(rr.Sites) {
 			rr.Suppressed = true
 		}
+		if opts.Audit != nil {
+			ar := audit.Race{
+				SiteA:      rr.Sites.A,
+				SiteB:      rr.Sites.B,
+				Verdict:    rr.Verdict.String(),
+				Group:      rr.Group.String(),
+				Suppressed: rr.Suppressed,
+			}
+			for ii := range instances[ri] {
+				res := results[ri][ii]
+				orig, alt := res.OrigFail, res.AltFail
+				if orig == "" {
+					orig = "ok"
+				}
+				if alt == "" {
+					alt = "ok"
+				}
+				ar.Instances = append(ar.Instances, audit.Instance{
+					Fingerprint: hex.EncodeToString(fps[ri][ii][:]),
+					Outcome:     res.Outcome.String(),
+					OrigOrder:   orig,
+					AltOrder:    alt,
+					Diffs:       len(res.Diffs),
+				})
+			}
+			auditRaces[rr] = ar
+		}
 		cls.Races = append(cls.Races, rr)
 	}
 	sortRaces(cls.Races)
+	if opts.Audit != nil {
+		// Report order: the same site-pair sort the classification (and
+		// every renderer downstream of it) uses.
+		for _, rr := range cls.Races {
+			opts.Audit.Races = append(opts.Audit.Races, auditRaces[rr])
+		}
+	}
 	publishMetrics(opts.Metrics, cls)
+	benign, harmful := cls.CountByVerdict()
+	opts.Metrics.Logger().Debug("execution classified",
+		"scenario", opts.Scenario, "seed", opts.Seed,
+		"races", len(cls.Races), "instances", cls.TotalInstances(),
+		"potentially_benign", benign, "potentially_harmful", harmful)
 	return cls
 }
 

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/classify"
@@ -34,6 +36,15 @@ type Result struct {
 
 // LogStats measures the recorded log's footprint (§5.1 metrics).
 func (r *Result) LogStats() trace.SizeStats { return trace.Stats(r.Log) }
+
+// LogDigest is the hex SHA-256 of a log's canonical serialization — the
+// content identity audit records attach replay verdicts to. Marshal is
+// deterministic, so the digest is a pure function of the recorded
+// execution.
+func LogDigest(log *trace.Log) string {
+	sum := sha256.Sum256(trace.Marshal(log))
+	return hex.EncodeToString(sum[:])
+}
 
 // Record runs prog under cfg and returns its replay log (the online half
 // of the pipeline; everything else is offline analysis over the log).
@@ -155,6 +166,11 @@ func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Opt
 		for i := range logs {
 			i := i
 			forks[i] = reg.Fork()
+			// Name the fork's timeline lane after the work item, so the
+			// exported trace reads "exec01#1", not an anonymous worker.
+			if label := optsFor(i).Scenario; label != "" {
+				forks[i].LabelLane(label)
+			}
 			pool.Submit(func() { analyze(i, forks[i]) })
 		}
 		pool.Wait()
@@ -166,10 +182,16 @@ func AnalyzeLogsInstrumented(logs []*trace.Log, optsFor func(i int) classify.Opt
 	for i, err := range errs {
 		if err != nil {
 			results[i] = nil // a panicked job may have left a partial result
-			quarantined = append(quarantined, Quarantined{Index: i, Label: optsFor(i).Scenario, Err: err})
+			label := optsFor(i).Scenario
+			quarantined = append(quarantined, Quarantined{Index: i, Label: label, Err: err})
 			reg.Counter("robust.quarantined").Inc()
+			reg.EmitLabeled("quarantine", label, uint64(i))
+			reg.Logger().Warn("analysis quarantined",
+				"item", i, "scenario", label, "err", err.Error())
 		}
 	}
+	reg.Logger().Info("batch analyzed",
+		"logs", len(logs), "jobs", jobs, "quarantined", len(quarantined))
 	return results, quarantined
 }
 

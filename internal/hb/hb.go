@@ -312,6 +312,7 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, r
 		reg.Counter("detect.region_pairs_conflicting").Add(pairsConflicting)
 		reg.Counter("detect.races").Add(uint64(len(races)))
 		reg.Counter("detect.instances").Add(uint64(total))
+		reg.Emit("detect.races", uint64(len(races)))
 	}
 	rep := &Report{TotalInstances: total, index: races}
 	for _, race := range races {

@@ -1,5 +1,7 @@
 package obs
 
+import "strconv"
+
 // Fork returns a worker-local view of the registry for one concurrently
 // executing pipeline stage. Counters, gauges, and histograms resolve to
 // the base registry — they are goroutine-safe and every worker should
@@ -11,12 +13,28 @@ package obs
 // Fork of a Fork views the same base. Fork of nil is nil, preserving
 // the nil-is-off rule across a fan-out: forking a disabled registry
 // hands every worker a disabled registry.
+// A fork additionally gets its own timeline lane (when the base has a
+// timeline) and a worker-tagged view of the base logger, so events and
+// log records from concurrent workers stay attributable.
 func (r *Registry) Fork() *Registry {
 	if r == nil {
 		return nil
 	}
 	f := &Registry{parent: r.base(), root: &Span{}}
 	f.cur = f.root
+	if tl := f.parent.tl; tl != nil {
+		f.lane = tl.newLane("")
+		f.lane.mu.Lock()
+		f.lane.label = "worker " + strconv.Itoa(f.lane.id)
+		f.lane.mu.Unlock()
+	}
+	if l := f.parent.Logger(); l != nopLogger {
+		if f.lane != nil {
+			f.forkLogger = l.With("worker", f.lane.id)
+		} else {
+			f.forkLogger = l
+		}
+	}
 	return f
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging: a thin log/slog layer the pipeline threads
+// through the registry, replacing ad-hoc stderr prints. The registry
+// carries at most one *slog.Logger; stages fetch it with Logger(),
+// which is never nil — without SetLogger it returns a logger whose
+// handler is disabled at every level, so unconditional instrumentation
+// costs one pointer load. Forks inherit the base logger tagged with
+// their worker lane, so JSONL records from a parallel run say which
+// worker wrote them.
+
+// discardHandler is a slog.Handler that is off at every level (the
+// stdlib gained slog.DiscardHandler after this module's Go floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// nopLogger is the shared disabled logger Logger falls back to.
+var nopLogger = slog.New(discardHandler{})
+
+// NewJSONLogger returns a leveled JSONL logger (one JSON object per
+// line) suitable for SetLogger.
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// SetLogger attaches a structured logger to the registry and its future
+// forks. No-op on nil.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if r == nil || l == nil {
+		return
+	}
+	b := r.base()
+	b.mu.Lock()
+	b.logger = l
+	b.mu.Unlock()
+}
+
+// Logger returns the attached logger. It is never nil: without
+// SetLogger (or on a nil registry) it returns a logger that is disabled
+// at every level. On a fork the base logger is tagged with the fork's
+// worker lane.
+func (r *Registry) Logger() *slog.Logger {
+	if r == nil {
+		return nopLogger
+	}
+	if r.parent != nil && r.forkLogger != nil {
+		return r.forkLogger
+	}
+	b := r.base()
+	b.mu.Lock()
+	l := b.logger
+	b.mu.Unlock()
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}

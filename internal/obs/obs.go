@@ -26,6 +26,7 @@
 package obs
 
 import (
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -131,6 +132,18 @@ type Registry struct {
 	// goroutine-safe), while the span tree stays private to the fork
 	// until Adopt folds it into the base ladder.
 	parent *Registry
+
+	// tl is the optional flight recorder (EnableTimeline); lane is this
+	// view's event stream within it — lane 0 on the base registry, a
+	// fresh lane per Fork. Both nil means the event path is off.
+	tl   *Timeline
+	lane *lane
+
+	// logger is the optional structured logger (SetLogger); forkLogger
+	// is a fork's lane-tagged view of it. Logger() falls back to a
+	// disabled logger when unset.
+	logger     *slog.Logger
+	forkLogger *slog.Logger
 }
 
 // base resolves the registry the metric namespace lives in: the

@@ -58,6 +58,7 @@ func (r *Registry) StartSpan(name string) *Span {
 	s.startAllocs = ms.Mallocs
 	s.active = true
 	r.cur = s
+	r.emitSpan(EvBegin, name)
 	return s
 }
 
@@ -84,6 +85,7 @@ func (s *Span) End() {
 	}
 	s.active = false
 	r.cur = s.parent
+	r.emitSpan(EvEnd, s.name)
 }
 
 // Time runs f inside a span named name (a convenience for one-shot

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The timeline is the flight-recorder half of the observability layer.
+// Counters and spans answer "how much, how long, in aggregate"; the
+// timeline answers "what happened, on which worker, in what order". It
+// records individual events — span begin/end cycles plus instants like
+// memo hits and quarantines — into per-lane ring buffers with bounded
+// memory, and merges them at snapshot time into one deterministic
+// sequence exportable as Chrome trace_event JSON (chrome://tracing,
+// Perfetto).
+//
+// Nil is off, as everywhere in obs: a registry without a timeline (the
+// default) never allocates or locks on the event path — Emit is two nil
+// checks. With the timeline on, emission writes into a preallocated
+// ring slot under a per-lane mutex, so the hot paths stay allocation
+// free either way and concurrent emitters on one lane never tear an
+// event across a wraparound.
+
+// EventKind is the shape of one timeline event.
+type EventKind uint8
+
+const (
+	// EvInstant marks a point in time (a memo hit, a quarantine).
+	EvInstant EventKind = iota
+	// EvBegin opens a stage on its lane (emitted by StartSpan).
+	EvBegin
+	// EvEnd closes the innermost open stage (emitted by Span.End).
+	EvEnd
+)
+
+// Event is one flight-recorder record. Name and Label must be
+// low-cardinality, caller-retained strings (stage names, scenario
+// labels) — the ring stores the string headers, never copies.
+type Event struct {
+	Seq   uint64    // per-lane monotonic sequence number
+	TS    int64     // nanoseconds since the timeline epoch
+	Lane  int       // emitting lane (0 = main, forks count up)
+	Kind  EventKind // instant, begin, or end
+	Name  string    // event name ("classify", "classify.memo.hit", ...)
+	Label string    // optional detail (scenario label, corruption kind)
+	Arg   uint64    // optional numeric payload (count, index, bytes)
+}
+
+// DefaultLaneEvents is the per-lane ring capacity used when
+// EnableTimeline is called with n <= 0: deep enough for a full suite
+// run per lane, small enough (~64 B/slot) to stay always-on.
+const DefaultLaneEvents = 4096
+
+// Timeline owns the lanes of one instrumented run. Lane 0 belongs to
+// the registry that enabled the timeline; every Fork opens a new lane.
+type Timeline struct {
+	epoch   time.Time
+	laneCap int
+
+	mu    sync.Mutex
+	lanes []*lane
+}
+
+// lane is one ring-buffered event stream with a single mutex guarding
+// the ring cursor, so concurrent emitters interleave whole events.
+type lane struct {
+	id    int
+	label string
+
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // sequence number of the next event
+	dropped uint64 // events overwritten by wraparound
+}
+
+// newLane registers a new lane and returns it.
+func (t *Timeline) newLane(label string) *lane {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &lane{id: len(t.lanes), label: label, buf: make([]Event, 0, t.laneCap)}
+	t.lanes = append(t.lanes, l)
+	return l
+}
+
+// emit appends one event to the lane, overwriting the oldest on
+// wraparound. The slot write happens under the lane mutex, so readers
+// and concurrent writers always see complete events.
+func (l *lane) emit(kind EventKind, ns int64, name, label string, arg uint64) {
+	l.mu.Lock()
+	ev := Event{Seq: l.next, TS: ns, Lane: l.id, Kind: kind, Name: name, Label: label, Arg: arg}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.next%uint64(len(l.buf))] = ev
+		l.dropped++
+	}
+	l.next++
+	l.mu.Unlock()
+}
+
+// EnableTimeline attaches a flight recorder to the registry (and its
+// future forks) with space for laneEvents events per lane (<= 0 means
+// DefaultLaneEvents). The receiver's own events land on lane 0
+// ("main"). Enabling twice returns the existing timeline; enabling a
+// nil registry returns nil.
+func (r *Registry) EnableTimeline(laneEvents int) *Timeline {
+	if r == nil {
+		return nil
+	}
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tl == nil {
+		if laneEvents <= 0 {
+			laneEvents = DefaultLaneEvents
+		}
+		b.tl = &Timeline{epoch: time.Now(), laneCap: laneEvents}
+		b.lane = b.tl.newLane("main")
+	}
+	return b.tl
+}
+
+// Timeline returns the attached flight recorder (nil when off).
+func (r *Registry) Timeline() *Timeline {
+	if r == nil {
+		return nil
+	}
+	return r.base().tl
+}
+
+// LabelLane names the receiver's timeline lane — the thread name shown
+// in the exported trace ("main", "worker 3 (exec01#1)"). No-op with
+// the timeline off.
+func (r *Registry) LabelLane(label string) {
+	if r == nil || r.lane == nil {
+		return
+	}
+	r.lane.mu.Lock()
+	r.lane.label = label
+	r.lane.mu.Unlock()
+}
+
+// Emit records an instant event on the registry's lane. With the
+// timeline off (nil registry, or no EnableTimeline) this is two nil
+// checks and zero allocations — the classify hot path calls it per
+// memo lookup.
+func (r *Registry) Emit(name string, arg uint64) {
+	if r == nil || r.lane == nil {
+		return
+	}
+	r.lane.emit(EvInstant, time.Since(r.base().tl.epoch).Nanoseconds(), name, "", arg)
+}
+
+// EmitLabeled is Emit with a detail string (a scenario label, a file
+// name, a corruption kind). The string is stored, not copied; pass
+// values that outlive the snapshot.
+func (r *Registry) EmitLabeled(name, label string, arg uint64) {
+	if r == nil || r.lane == nil {
+		return
+	}
+	r.lane.emit(EvInstant, time.Since(r.base().tl.epoch).Nanoseconds(), name, label, arg)
+}
+
+// emitSpan records a stage begin/end on the registry's lane; called by
+// StartSpan and Span.End with the registry lock held (the lane mutex
+// nests strictly inside the registry mutex).
+func (r *Registry) emitSpan(kind EventKind, name string) {
+	if r.lane == nil {
+		return
+	}
+	r.lane.emit(kind, time.Since(r.base().tl.epoch).Nanoseconds(), name, "", 0)
+}
+
+// LaneInfo describes one lane in a timeline snapshot.
+type LaneInfo struct {
+	ID      int    `json:"id"`
+	Label   string `json:"label"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped,omitempty"` // lost to ring wraparound
+}
+
+// TimelineSnapshot is a frozen, merged view of every lane.
+type TimelineSnapshot struct {
+	Lanes  []LaneInfo
+	Events []Event // merged, deterministic order
+}
+
+// Snapshot freezes the timeline: every lane's surviving events, merged
+// into one sequence ordered by (TS, Lane, Seq). The (Lane, Seq) pair is
+// unique, so the order is a total, deterministic function of the event
+// set — two snapshots of the same events agree byte for byte no matter
+// how many workers emitted them.
+func (t *Timeline) Snapshot() TimelineSnapshot {
+	var snap TimelineSnapshot
+	if t == nil {
+		return snap
+	}
+	t.mu.Lock()
+	lanes := append([]*lane(nil), t.lanes...)
+	t.mu.Unlock()
+	for _, l := range lanes {
+		l.mu.Lock()
+		snap.Lanes = append(snap.Lanes, LaneInfo{ID: l.id, Label: l.label, Events: len(l.buf), Dropped: l.dropped})
+		// Oldest first: after wraparound the ring's logical start is
+		// next % len.
+		if n := len(l.buf); n > 0 {
+			start := 0
+			if l.dropped > 0 {
+				start = int(l.next % uint64(n))
+			}
+			for i := 0; i < n; i++ {
+				snap.Events = append(snap.Events, l.buf[(start+i)%n])
+			}
+		}
+		l.mu.Unlock()
+	}
+	sort.Slice(snap.Events, func(i, j int) bool {
+		a, b := snap.Events[i], snap.Events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		return a.Seq < b.Seq
+	})
+	return snap
+}
+
+// Dropped sums events lost to ring wraparound across all lanes.
+func (s TimelineSnapshot) Dropped() uint64 {
+	var n uint64
+	for _, l := range s.Lanes {
+		n += l.Dropped
+	}
+	return n
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Eight forks hammer their lanes concurrently, each lane wrapping its
+// ring several times over; the snapshot must (a) never contain a torn
+// event — every record's fields must be internally consistent with what
+// exactly one worker wrote — and (b) merge into the same deterministic
+// order every time.
+func TestForkConcurrentEmitMergesDeterministically(t *testing.T) {
+	const (
+		workers       = 8
+		perWorker     = 1000
+		laneCap       = 256 // force ~4x wraparound per lane
+		snapshotRaces = 4   // concurrent snapshots during emission
+	)
+	reg := NewRegistry()
+	reg.EnableTimeline(laneCap)
+
+	forks := make([]*Registry, workers)
+	names := make([]string, workers)
+	for i := range forks {
+		forks[i] = reg.Fork()
+		names[i] = fmt.Sprintf("worker%d.event", i)
+	}
+
+	var wg sync.WaitGroup
+	for i, f := range forks {
+		wg.Add(1)
+		go func(i int, f *Registry) {
+			defer wg.Done()
+			for seq := 0; seq < perWorker; seq++ {
+				// Arg encodes (worker, seq) so a torn slot — one
+				// worker's name with another's payload, or a stale
+				// mix of two writes — is detectable after the fact.
+				f.Emit(names[i], uint64(i)<<32|uint64(seq))
+			}
+		}(i, f)
+	}
+	// Concurrent snapshots must see only whole events, even mid-wrap.
+	for i := 0; i < snapshotRaces; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			checkNoTearing(t, reg.Timeline().Snapshot(), names)
+		}()
+	}
+	wg.Wait()
+
+	snap := reg.Timeline().Snapshot()
+	checkNoTearing(t, snap, names)
+
+	// 1 main lane + 8 worker lanes, each worker lane full and wrapped.
+	if len(snap.Lanes) != workers+1 {
+		t.Fatalf("lanes = %d, want %d", len(snap.Lanes), workers+1)
+	}
+	for _, l := range snap.Lanes[1:] {
+		if l.Events != laneCap {
+			t.Errorf("lane %d holds %d events, want full ring of %d", l.ID, l.Events, laneCap)
+		}
+		if l.Dropped != perWorker-laneCap {
+			t.Errorf("lane %d dropped = %d, want %d", l.ID, l.Dropped, perWorker-laneCap)
+		}
+		if !strings.HasPrefix(l.Label, "worker ") {
+			t.Errorf("lane %d label = %q, want worker label", l.ID, l.Label)
+		}
+	}
+
+	// Per lane the surviving events must be exactly the newest laneCap,
+	// oldest first.
+	for _, l := range snap.Lanes[1:] {
+		var got []Event
+		for _, ev := range snap.Events {
+			if ev.Lane == l.ID {
+				got = append(got, ev)
+			}
+		}
+		if len(got) != laneCap {
+			t.Fatalf("lane %d: merged %d events, want %d", l.ID, len(got), laneCap)
+		}
+		for i, ev := range got {
+			wantSeq := uint64(perWorker - laneCap + i)
+			if ev.Seq != wantSeq {
+				t.Fatalf("lane %d event %d: seq = %d, want %d (newest %d, oldest first)",
+					l.ID, i, ev.Seq, wantSeq, laneCap)
+			}
+		}
+	}
+
+	// The merge is a pure function of the event set: snapshotting again
+	// yields the identical sequence.
+	again := reg.Timeline().Snapshot()
+	if !reflect.DeepEqual(snap.Events, again.Events) {
+		t.Fatal("two snapshots of a quiesced timeline disagree")
+	}
+}
+
+// checkNoTearing verifies every worker event is internally consistent:
+// the name says which worker wrote it, and the payload must carry that
+// worker's index and a plausible sequence number.
+func checkNoTearing(t *testing.T, snap TimelineSnapshot, names []string) {
+	t.Helper()
+	for _, ev := range snap.Events {
+		if ev.Lane == 0 {
+			continue
+		}
+		worker := ev.Lane - 1
+		if worker >= len(names) || ev.Name != names[worker] {
+			t.Fatalf("lane %d carries foreign event %q", ev.Lane, ev.Name)
+		}
+		if ev.Arg>>32 != uint64(worker) {
+			t.Fatalf("torn event on lane %d: name %q but payload from worker %d",
+				ev.Lane, ev.Name, ev.Arg>>32)
+		}
+		if seq := ev.Arg & 0xffffffff; seq != ev.Seq {
+			t.Fatalf("torn event on lane %d: ring seq %d holds payload seq %d",
+				ev.Lane, ev.Seq, seq)
+		}
+	}
+}
+
+// With the timeline off — the default — Emit must cost zero
+// allocations, both on a nil registry and on a live one. This backs the
+// acceptance criterion that enabling observability hooks on the
+// classify hot path is free until switched on.
+func TestEmitOffAllocatesNothing(t *testing.T) {
+	var nilReg *Registry
+	if n := testing.AllocsPerRun(100, func() {
+		nilReg.Emit("classify.memo.hit", 1)
+		nilReg.EmitLabeled("quarantine", "why", 0)
+	}); n != 0 {
+		t.Fatalf("nil-registry Emit allocates %.1f/op, want 0", n)
+	}
+	reg := NewRegistry() // metrics on, timeline off
+	fork := reg.Fork()
+	if n := testing.AllocsPerRun(100, func() {
+		reg.Emit("classify.memo.hit", 1)
+		fork.Emit("classify.memo.miss", 1)
+		fork.EmitLabeled("quarantine", "why", 0)
+	}); n != 0 {
+		t.Fatalf("timeline-off Emit allocates %.1f/op, want 0", n)
+	}
+}
+
+// Once the ring is at capacity, emission reuses slots: no allocations
+// even with the timeline on.
+func TestEmitSteadyStateAllocatesNothing(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimeline(64)
+	for i := 0; i < 64; i++ {
+		reg.Emit("warmup", 0)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		reg.Emit("classify.memo.hit", 1)
+	}); n != 0 {
+		t.Fatalf("steady-state Emit allocates %.1f/op, want 0", n)
+	}
+}
+
+// Spans emitted through the normal StartSpan/End flow must export as
+// complete ("X") slices, instants as "i", and the whole file must pass
+// the exporter's own validator.
+func TestTraceExportRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimeline(0)
+
+	outer := reg.StartSpan("suite")
+	inner := reg.StartSpan("classify")
+	reg.Emit("classify.memo.miss", 1)
+	time.Sleep(time.Millisecond)
+	reg.EmitLabeled("quarantine", "exec03", 2)
+	inner.End()
+	outer.End()
+	orphan := reg.StartSpan("unfinished") // never ended: must not export
+	_ = orphan
+
+	var buf bytes.Buffer
+	if err := reg.Timeline().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter emitted an invalid trace: %v\n%s", err, buf.String())
+	}
+
+	var slices, instants, meta int
+	byName := map[string]TraceEvent{}
+	for _, te := range f.TraceEvents {
+		byName[te.Name+"/"+te.Phase] = te
+		switch te.Phase {
+		case "X":
+			slices++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if slices != 2 {
+		t.Errorf("complete slices = %d, want 2 (suite, classify)", slices)
+	}
+	if instants != 2 {
+		t.Errorf("instants = %d, want 2 (memo miss, quarantine)", instants)
+	}
+	if meta < 2 {
+		t.Errorf("metadata records = %d, want process + thread names", meta)
+	}
+	if _, ok := byName["unfinished/X"]; ok {
+		t.Error("unfinished span exported as a complete slice")
+	}
+	cl, ok := byName["classify/X"]
+	if !ok {
+		t.Fatal("classify slice missing")
+	}
+	su := byName["suite/X"]
+	if *cl.Dur > *su.Dur {
+		t.Errorf("classify dur %.1fus exceeds enclosing suite dur %.1fus", *cl.Dur, *su.Dur)
+	}
+	q := byName["quarantine/i"]
+	if q.Args["label"] != "exec03" {
+		t.Errorf("quarantine instant args = %v, want label exec03", q.Args)
+	}
+
+	// A nil timeline still writes a valid trace (just process metadata).
+	buf.Reset()
+	var off *Timeline
+	if err := off.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Errorf("nil-timeline trace should validate: %v", err)
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"not json", `{"traceEvents": [`},
+		{"empty", `{"traceEvents": []}`},
+		{"no name", `{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0}]}`},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":1,"tid":0}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-5,"pid":1,"tid":0}]}`},
+		{"X sans dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":0}]}`},
+	} {
+		if _, err := ValidateTrace([]byte(tc.in)); err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+		}
+	}
+}
+
+// The registry logger is never nil, discards when unset, and tags fork
+// records with their worker lane.
+func TestLoggerFallbackAndForkTagging(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Logger() == nil {
+		t.Fatal("nil registry returned nil logger")
+	}
+	nilReg.Logger().Info("must not panic")
+
+	reg := NewRegistry()
+	if reg.Logger() != nopLogger {
+		t.Fatal("unset logger should fall back to the shared nop logger")
+	}
+
+	var buf bytes.Buffer
+	reg.SetLogger(NewJSONLogger(&buf, slog.LevelInfo))
+	reg.EnableTimeline(0)
+	fork := reg.Fork()
+	fork.Logger().Info("replay failed", "scenario", "exec07")
+	reg.Logger().Debug("suppressed") // below level
+
+	line := buf.String()
+	if !strings.Contains(line, `"worker":1`) {
+		t.Errorf("fork record lacks worker attr: %s", line)
+	}
+	if !strings.Contains(line, `"scenario":"exec07"`) {
+		t.Errorf("fork record lacks call attrs: %s", line)
+	}
+	if strings.Contains(line, "suppressed") {
+		t.Error("debug record emitted at info level")
+	}
+}
+
+// Fork lanes are numbered in creation order, so a driver that forks
+// per work item in input order gets a deterministic lane layout.
+func TestForkLaneOrdering(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimeline(0)
+	for i := 1; i <= 3; i++ {
+		f := reg.Fork()
+		if f.lane.id != i {
+			t.Fatalf("fork %d got lane %d", i, f.lane.id)
+		}
+		f.LabelLane(fmt.Sprintf("worker %d (exec%02d)", i, i))
+	}
+	snap := reg.Timeline().Snapshot()
+	if snap.Lanes[2].Label != "worker 2 (exec02)" {
+		t.Fatalf("lane 2 label = %q", snap.Lanes[2].Label)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the timeline snapshot rendered in the JSON
+// Array Format that chrome://tracing and Perfetto load directly. Every
+// lane becomes one "thread" of a single "racer" process; stage
+// begin/end pairs become complete ("X") slices and instants stay
+// instants ("i"). Ring wraparound can orphan a begin or an end — the
+// exporter matches pairs per lane and drops the unmatched rest, so the
+// output is always well formed.
+
+// TraceEvent is one Chrome trace_event record.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since the timeline epoch
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" (thread)
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the exported envelope ({"traceEvents": [...]}).
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePID is the single synthetic process all lanes live under.
+const tracePID = 1
+
+// TraceExport converts the snapshot into a Chrome trace file.
+func (s TimelineSnapshot) TraceExport() *TraceFile {
+	f := &TraceFile{DisplayTimeUnit: "ms"}
+
+	// Metadata: name the process once and every lane as a thread, in
+	// lane order so the export is deterministic.
+	f.TraceEvents = append(f.TraceEvents, TraceEvent{
+		Name: "process_name", Phase: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "racer"},
+	})
+	for _, l := range s.Lanes {
+		label := l.Label
+		if label == "" {
+			label = fmt.Sprintf("lane %d", l.ID)
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: l.ID,
+			Args: map[string]any{"name": label},
+		})
+		if l.Dropped > 0 {
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name: "timeline.dropped", Phase: "i", TS: 0, PID: tracePID, TID: l.ID,
+				Scope: "t", Args: map[string]any{"dropped": l.Dropped},
+			})
+		}
+	}
+
+	// Stage slices: match begin/end pairs per lane with a stack. Events
+	// arrive in merged (TS, Lane, Seq) order; per lane that is Seq
+	// order, so nesting is well bracketed except where wraparound ate
+	// one side — unmatched events are dropped rather than exported as
+	// dangling B/E records some viewers reject.
+	type open struct {
+		ev  Event
+		idx int // reserved slot in f.TraceEvents
+	}
+	stacks := make(map[int][]open)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvBegin:
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{}) // reserve slot in start order
+			stacks[ev.Lane] = append(stacks[ev.Lane], open{ev: ev, idx: len(f.TraceEvents) - 1})
+		case EvEnd:
+			st := stacks[ev.Lane]
+			// Unwind to the matching begin (abandoned children are
+			// closed implicitly by Span.End's unwinding semantics).
+			match := -1
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].ev.Name == ev.Name {
+					match = i
+					break
+				}
+			}
+			if match < 0 {
+				continue // begin lost to wraparound
+			}
+			b := st[match]
+			dur := float64(ev.TS-b.ev.TS) / 1e3
+			f.TraceEvents[b.idx] = TraceEvent{
+				Name: b.ev.Name, Phase: "X", TS: float64(b.ev.TS) / 1e3, Dur: &dur,
+				PID: tracePID, TID: ev.Lane,
+			}
+			stacks[ev.Lane] = st[:match]
+		case EvInstant:
+			te := TraceEvent{
+				Name: ev.Name, Phase: "i", TS: float64(ev.TS) / 1e3,
+				PID: tracePID, TID: ev.Lane, Scope: "t",
+			}
+			if ev.Label != "" || ev.Arg != 0 {
+				te.Args = map[string]any{}
+				if ev.Label != "" {
+					te.Args["label"] = ev.Label
+				}
+				if ev.Arg != 0 {
+					te.Args["arg"] = ev.Arg
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, te)
+		}
+	}
+
+	// Compact away reserved slots whose end never arrived (still-open
+	// or wraparound-orphaned begins left zero-value placeholders).
+	kept := f.TraceEvents[:0]
+	for _, te := range f.TraceEvents {
+		if te.Phase != "" {
+			kept = append(kept, te)
+		}
+	}
+	f.TraceEvents = kept
+	return f
+}
+
+// WriteTrace renders the timeline as Chrome trace_event JSON. A nil
+// timeline writes a valid, empty trace.
+func (t *Timeline) WriteTrace(w io.Writer) error {
+	f := t.Snapshot().TraceExport()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// ValidateTrace decodes Chrome trace JSON and checks the invariants the
+// exporter guarantees: a traceEvents array where every record has a
+// name, a known phase, non-negative timestamps, and complete events
+// carry durations. It returns the decoded file for further inspection.
+func ValidateTrace(data []byte) (*TraceFile, error) {
+	var f TraceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace: no traceEvents")
+	}
+	for i, te := range f.TraceEvents {
+		if te.Name == "" {
+			return nil, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch te.Phase {
+		case "M":
+		case "i":
+			if te.TS < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s) has negative ts", i, te.Name)
+			}
+		case "X":
+			if te.TS < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s) has negative ts", i, te.Name)
+			}
+			if te.Dur == nil || *te.Dur < 0 {
+				return nil, fmt.Errorf("trace: complete event %d (%s) lacks a duration", i, te.Name)
+			}
+		default:
+			return nil, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, te.Name, te.Phase)
+		}
+	}
+	return &f, nil
+}

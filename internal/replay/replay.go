@@ -244,6 +244,7 @@ func NewSession(log *trace.Log, opts Options) (*Session, error) {
 		s.cRegions = opts.Metrics.Counter("replay.regions")
 		opts.Metrics.Counter("replay.executions").Inc()
 		opts.Metrics.Counter("replay.threads").Add(uint64(len(log.Threads)))
+		opts.Metrics.Emit("replay.regions", uint64(len(exec.Regions)))
 	}
 	return s, nil
 }

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// AuditSection renders the verdict-provenance trail for human review:
+// per execution the input log's content hash (or quarantine reason),
+// per race the verdict with its evidence line — instance count, cache
+// attribution, and both replay orders' outcomes of the first instance.
+// A nil file renders nothing, so callers can print it unconditionally.
+func AuditSection(f *audit.File) string {
+	if f == nil || len(f.Executions) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	hits, misses := f.CacheHits()
+	fmt.Fprintf(&b, "audit trail (%s): %d execution(s), %d replay(s) cached of %d\n",
+		audit.SchemaID, len(f.Executions), hits, hits+misses)
+	for _, e := range f.Executions {
+		if e.Quarantined != "" {
+			fmt.Fprintf(&b, "  %s (seed %d): quarantined: %s\n", e.Scenario, e.Seed, e.Quarantined)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s (seed %d): log sha256 %s…, %d race(s)\n",
+			e.Scenario, e.Seed, shortHash(e.LogSHA256), len(e.Races))
+		for _, r := range e.Races {
+			verdict := r.Verdict
+			if r.Suppressed {
+				verdict += " (suppressed)"
+			}
+			var cached int
+			for _, in := range r.Instances {
+				if in.CacheHit {
+					cached++
+				}
+			}
+			fmt.Fprintf(&b, "    %s <-> %s: %s [%s], %d instance(s), %d cached\n",
+				r.SiteA, r.SiteB, verdict, r.Group, len(r.Instances), cached)
+			if len(r.Instances) > 0 {
+				in := r.Instances[0]
+				fmt.Fprintf(&b, "      first instance %s…: %s (orig: %s; alt: %s)\n",
+					shortHash(in.Fingerprint), in.Outcome, in.OrigOrder, in.AltOrder)
+			}
+		}
+	}
+	return b.String()
+}
+
+// shortHash abbreviates a hex digest for display.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+func TestAuditSection(t *testing.T) {
+	if got := AuditSection(nil); got != "" {
+		t.Fatalf("nil file rendered %q", got)
+	}
+	f := audit.NewFile()
+	f.Executions = []audit.Execution{
+		{
+			Scenario:  "exec01",
+			Seed:      42,
+			LogSHA256: strings.Repeat("ab", 32),
+			Races: []audit.Race{{
+				SiteA: "pc=10", SiteB: "pc=20",
+				Verdict: "potentially-harmful", Group: "state-change",
+				Instances: []audit.Instance{
+					{Fingerprint: strings.Repeat("cd", 32), Outcome: "state-change",
+						OrigOrder: "ok", AltOrder: "ok", Diffs: 2},
+					{Fingerprint: strings.Repeat("cd", 32), CacheHit: true,
+						Outcome: "state-change", OrigOrder: "ok", AltOrder: "ok", Diffs: 2},
+				},
+			}},
+		},
+		{Scenario: "exec02", Seed: 43, Quarantined: "decode: truncated"},
+	}
+	out := AuditSection(f)
+	for _, want := range []string{
+		audit.SchemaID,
+		"1 replay(s) cached of 2",
+		"exec01 (seed 42): log sha256 abababababab…, 1 race(s)",
+		"pc=10 <-> pc=20: potentially-harmful [state-change], 2 instance(s), 1 cached",
+		"first instance cdcdcdcdcdcd…: state-change (orig: ok; alt: ok)",
+		"exec02 (seed 43): quarantined: decode: truncated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit section missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -56,6 +56,8 @@ func Guard(reg *obs.Registry, fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			reg.Counter("sched.panics").Inc()
+			reg.Emit("sched.panic", 0)
+			reg.Logger().Error("job panicked", "panic", fmt.Sprint(r))
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -113,6 +115,8 @@ type Pool struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	reg *obs.Registry // timeline/log access; metric handles below are pre-resolved
+
 	cSubmitted, cCompleted *obs.Counter
 	cBusy, cIdle, cPanics  *obs.Counter
 	gDepth, gPeak, gUtil   *obs.Gauge
@@ -124,6 +128,7 @@ type Pool struct {
 func NewPool(workers int, reg *obs.Registry) *Pool {
 	workers = Normalize(workers, DefaultJobs())
 	p := &Pool{
+		reg:        reg,
 		cSubmitted: reg.Counter("sched.tasks_submitted"),
 		cCompleted: reg.Counter("sched.tasks_completed"),
 		cBusy:      reg.Counter("sched.worker_busy_ns"),
@@ -138,7 +143,7 @@ func NewPool(workers int, reg *obs.Registry) *Pool {
 	reg.Gauge("sched.workers").Set(float64(workers))
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go p.worker()
+		go p.worker(w)
 	}
 	return p
 }
@@ -175,8 +180,10 @@ func (p *Pool) Wait() {
 	}
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(w int) {
 	defer p.wg.Done()
+	p.reg.Emit("sched.worker.start", uint64(w))
+	defer p.reg.Emit("sched.worker.stop", uint64(w))
 	for {
 		idleStart := time.Now()
 		p.mu.Lock()

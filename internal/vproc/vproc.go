@@ -95,6 +95,16 @@ type Result struct {
 	Outcome    Outcome
 	FailReason string // set for ReplayFailure
 	Diffs      []Diff // set for StateChange
+
+	// OrigFail and AltFail record each order's individual failure
+	// reason ("" = that order replayed cleanly). Both orders always
+	// run, so both fields are meaningful even when one failed — the
+	// audit trail records what each order produced, not just the
+	// combined verdict. Like everything in Result they are a pure
+	// function of the instance's live-in fingerprint, so memoization
+	// preserves them.
+	OrigFail string
+	AltFail  string
 }
 
 // Options tunes the virtual processor.
@@ -190,11 +200,13 @@ func AnalyzeScratch(exec *replay.Execution, pair RacePair, opts Options, sc *Scr
 	alt, failA := runOrder(exec, pair, false, opts, &sc.slots[1])
 	if failO != "" {
 		reg.Counter("vproc.order_failures_original").Inc()
-		return Result{Outcome: ReplayFailure, FailReason: "original order: " + failO}
+		return Result{Outcome: ReplayFailure, FailReason: "original order: " + failO,
+			OrigFail: failO, AltFail: failA}
 	}
 	if failA != "" {
 		reg.Counter("vproc.order_failures_alternative").Inc()
-		return Result{Outcome: ReplayFailure, FailReason: "alternative order: " + failA}
+		return Result{Outcome: ReplayFailure, FailReason: "alternative order: " + failA,
+			AltFail: failA}
 	}
 	diffs := compare(orig, alt, sc)
 	if len(diffs) == 0 {

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -32,6 +33,12 @@ type SuiteRun struct {
 	// SuiteOptions.Static was set): per-scenario lint reports joined
 	// against the dynamic evidence above.
 	Static *SuiteStatic
+	// Audit is the verdict-provenance trail (nil unless
+	// SuiteOptions.Audit was set): one audit.Execution per scenario ×
+	// seed slot, in suite order, quarantined slots included. The file
+	// is a deterministic function of the suite inputs — byte-identical
+	// at every Jobs count.
+	Audit *audit.File
 }
 
 // SuiteOptions configures a suite analysis.
@@ -59,6 +66,11 @@ type SuiteOptions struct {
 	// produces byte-identical suite output; NoMemo exists for
 	// measurement and the equivalence tests.
 	NoMemo bool
+	// Audit assembles the verdict-provenance trail into SuiteRun.Audit:
+	// per execution, the input log's content hash and per-race replay
+	// evidence (live-in fingerprints, both orders' outcomes, canonical
+	// cache attribution).
+	Audit bool
 }
 
 // RunSuite records, replays, detects, and classifies every scenario, then
@@ -106,11 +118,15 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	type recording struct {
 		scenario Scenario
 		label    string
+		slot     int
 		log      *trace.Log
 		machine  *machine.Result
 	}
 	run := &SuiteRun{}
 	var recs []recording
+	// Audit envelopes, one per scenario×seed slot in suite order;
+	// classify fills each healthy slot's Races through the pointer.
+	var audits []*audit.Execution
 	slot := 0
 	for _, base := range Scenarios() {
 		// One assembly per scenario: the program does not depend on the
@@ -123,7 +139,7 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 			if seeds > 1 {
 				label = fmt.Sprintf("%s#%d", s.Name, k)
 			}
-			rec := recording{scenario: s, label: label}
+			rec := recording{scenario: s, label: label, slot: slot}
 			err := sched.Guard(reg, func() error {
 				if progErr != nil {
 					return fmt.Errorf("program: %w", progErr)
@@ -140,9 +156,21 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 				rec.log, rec.machine = log, mres
 				return nil
 			})
+			if opts.Audit {
+				ae := &audit.Execution{Scenario: label, Seed: s.Seed}
+				if err == nil {
+					ae.LogSHA256 = core.LogDigest(rec.log)
+				} else {
+					ae.Quarantined = err.Error()
+				}
+				audits = append(audits, ae)
+			}
 			if err != nil {
 				run.Quarantined = append(run.Quarantined, core.Quarantined{Index: slot, Label: label, Err: err})
 				reg.Counter("robust.quarantined").Inc()
+				reg.EmitLabeled("quarantine", label, uint64(slot))
+				reg.Logger().Warn("recording quarantined",
+					"slot", slot, "scenario", label, "err", err.Error())
 			} else {
 				recs = append(recs, rec)
 			}
@@ -158,14 +186,32 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 		logs[i] = recs[i].log
 	}
 	results, quarantined := core.AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
-		return classify.Options{
+		o := classify.Options{
 			Scenario: recs[i].label,
 			Seed:     recs[i].scenario.Seed,
 			DB:       opts.DB,
 			NoMemo:   opts.NoMemo,
 		}
+		if opts.Audit {
+			o.Audit = audits[recs[i].slot]
+		}
+		return o
 	}, opts.Jobs, reg)
 	run.Quarantined = append(run.Quarantined, quarantined...)
+	if opts.Audit {
+		// Analysis-time quarantines supersede whatever classify may have
+		// started writing before the failure.
+		for _, q := range quarantined {
+			ae := audits[recs[q.Index].slot]
+			ae.Quarantined = q.Err.Error()
+			ae.Races = nil
+		}
+		run.Audit = audit.NewFile()
+		for _, ae := range audits {
+			run.Audit.Executions = append(run.Audit.Executions, *ae)
+		}
+		run.Audit.DeriveCacheHits()
+	}
 
 	var parts []*classify.Classification
 	for i, res := range results {

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The audit trail is a pure function of the suite inputs: running the
+// offline half serially and on eight workers must produce byte-identical
+// provenance files.
+func TestSuiteAuditByteIdenticalAcrossJobs(t *testing.T) {
+	serialReg := obs.NewRegistry()
+	serial, err := RunSuiteOpts(SuiteOptions{Jobs: 1, Audit: true, Registry: serialReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSuiteOpts(SuiteOptions{Jobs: 8, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Audit == nil || parallel.Audit == nil {
+		t.Fatal("Audit option did not produce an audit file")
+	}
+	b1, err := serial.Audit.Marshal()
+	if err != nil {
+		t.Fatalf("serial audit file invalid: %v", err)
+	}
+	b8, err := parallel.Audit.Marshal()
+	if err != nil {
+		t.Fatalf("parallel audit file invalid: %v", err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("audit files diverge between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", b1, b8)
+	}
+
+	// Shape: one execution per suite slot, each analyzed slot hashed and
+	// carrying races with complete per-instance evidence.
+	if len(serial.Audit.Executions) != len(serial.Scenarios)+len(serial.Quarantined) {
+		t.Fatalf("executions = %d, want %d scenarios + %d quarantined",
+			len(serial.Audit.Executions), len(serial.Scenarios), len(serial.Quarantined))
+	}
+	var insts int
+	for _, e := range serial.Audit.Executions {
+		for _, r := range e.Races {
+			insts += len(r.Instances)
+		}
+	}
+	if want := serial.Merged.TotalInstances(); insts != want {
+		t.Fatalf("audit instances = %d, want %d (merged classification total)", insts, want)
+	}
+
+	// At one worker the canonical cache derivation and the runtime memo
+	// agree exactly: derived hits must equal the classify.memo.hits
+	// counter of the serial run.
+	hits, misses := serial.Audit.CacheHits()
+	if got := serialReg.Counter("classify.memo.hits").Value(); uint64(hits) != got {
+		t.Fatalf("derived cache hits = %d, runtime memo hits at jobs=1 = %d", hits, got)
+	}
+	if uint64(misses) != serialReg.Counter("classify.memo.misses").Value() {
+		t.Fatalf("derived cache misses = %d, runtime = %d",
+			misses, serialReg.Counter("classify.memo.misses").Value())
+	}
+	if hits == 0 {
+		t.Error("suite exposes recurring instances; derived cache hits should be > 0")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"repro/internal/asm"
+	"repro/internal/audit"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/hb"
@@ -99,6 +100,30 @@ type (
 	// MetricsSnapshot is a frozen registry, renderable as text, JSON, or
 	// Prometheus exposition format.
 	MetricsSnapshot = obs.Snapshot
+	// Timeline is the flight recorder attached to a Metrics registry by
+	// EnableTimeline: per-worker ring-buffered event streams, exportable
+	// as Chrome trace_event JSON (WriteTrace).
+	Timeline = obs.Timeline
+	// TimelineEvent is one flight-recorder record in a timeline snapshot.
+	TimelineEvent = obs.Event
+	// TimelineEventKind is the shape of a timeline event: instant, stage
+	// begin, or stage end.
+	TimelineEventKind = obs.EventKind
+	// AuditFile is the versioned verdict-provenance trail
+	// (racereplay-audit/v1): per execution, the input log's content hash
+	// and per-race replay evidence. Suite runs assemble one when
+	// SuiteOptions.Audit is set.
+	AuditFile = audit.File
+	// AuditExecution is one execution's provenance record within an
+	// AuditFile; Options.Audit points classification at one to fill.
+	AuditExecution = audit.Execution
+)
+
+// Timeline event kinds.
+const (
+	EvInstant = obs.EvInstant
+	EvBegin   = obs.EvBegin
+	EvEnd     = obs.EvEnd
 )
 
 // Verdicts and Table-1 groups.
@@ -348,3 +373,17 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 // OverheadLadder renders the §5.1 per-stage overhead ladder from an
 // instrumented run's snapshot.
 func OverheadLadder(snap MetricsSnapshot) string { return report.OverheadLadder(snap) }
+
+// AuditSection renders the verdict-provenance trail for human review
+// (nil file renders nothing).
+func AuditSection(f *AuditFile) string { return report.AuditSection(f) }
+
+// NewAuditFile returns an empty verdict-provenance envelope.
+func NewAuditFile() *AuditFile { return audit.NewFile() }
+
+// LogDigest is the hex SHA-256 of a log's canonical serialization — the
+// content identity audit records attach replay verdicts to.
+func LogDigest(log *Log) string { return core.LogDigest(log) }
+
+// ReadAuditFile loads and validates a racereplay-audit/v1 file.
+func ReadAuditFile(path string) (*AuditFile, error) { return audit.ReadFile(path) }
