@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"time"
@@ -13,7 +14,7 @@ import (
 
 // runBenchOut measures the performance-critical paths of the offline
 // pipeline with the machine-readable harness and writes the results to
-// path — the BENCH_6.json artifact EXPERIMENTS.md §5.1 quotes and CI
+// path — the BENCH_7.json artifact EXPERIMENTS.md §5.1 quotes and CI
 // validates. Progress goes to out; the measurements only to the file.
 func runBenchOut(path string, benchTime time.Duration, rounds int, out io.Writer) error {
 	r := bench.Runner{BenchTime: benchTime, Rounds: rounds}
@@ -98,6 +99,61 @@ func runBenchOut(path string, benchTime time.Duration, rounds int, out io.Writer
 		}
 	})
 
+	// The race-free fast path: the same race-free recording analyzed with
+	// its online race-free verdict attached (offline decode+HB skipped)
+	// and round-tripped through the wire format (annotation stripped, full
+	// offline pass). The gap between the two rungs is the measured win the
+	// online detector buys on clean executions.
+	fmt.Fprintln(out, "bench: race-free fast path (service, online verdict on/off)")
+	svc, err := workloads.FindScenario("service")
+	if err != nil {
+		return err
+	}
+	svcProg, err := svc.Program()
+	if err != nil {
+		return err
+	}
+	fastLog, orep, err := racereplay.RecordOnline(svcProg, svc.Config(), racereplay.OnlineConfig{Detect: true})
+	if err != nil {
+		return err
+	}
+	if !orep.RaceFree {
+		return fmt.Errorf("service scenario raced online (%d pairs); fast-path benchmark needs a race-free workload", len(orep.Races))
+	}
+	var svcWire bytes.Buffer
+	if err := racereplay.WriteLog(&svcWire, fastLog); err != nil {
+		return err
+	}
+	slowLog, err := racereplay.ReadLog(bytes.NewReader(svcWire.Bytes()))
+	if err != nil {
+		return err
+	}
+	for _, online := range []bool{true, false} {
+		benchLog := slowLog
+		if online {
+			benchLog = fastLog
+		}
+		r.Run(file, fmt.Sprintf("analyze-racefree/online=%s", onOff(online)), func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := racereplay.AnalyzeLog(benchLog, racereplay.Options{}); err != nil {
+					fatal(err)
+				}
+			}
+		})
+	}
+
+	fmt.Fprintln(out, "bench: online recording overhead (service, detect on/off)")
+	for _, detect := range []bool{true, false} {
+		oc := racereplay.OnlineConfig{Detect: detect}
+		r.Run(file, fmt.Sprintf("record-online/detect=%s", onOff(detect)), func(n int) {
+			for i := 0; i < n; i++ {
+				if _, _, err := racereplay.RecordOnline(svcProg, svc.Config(), oc); err != nil {
+					fatal(err)
+				}
+			}
+		})
+	}
+
 	fmt.Fprintln(out, "bench: suite (seeds=2, jobs 1/8)")
 	for _, jobs := range []int{1, 8} {
 		jobs := jobs
@@ -139,20 +195,23 @@ func checkBench(path, against string, tolerance float64, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	regressions, compared, err := bench.Compare(base, f, tolerance)
+	cmp, err := bench.Compare(base, f, tolerance)
 	if err != nil {
 		return err
 	}
-	for _, r := range regressions {
+	for _, name := range cmp.New {
+		fmt.Fprintf(out, "bench: NEW %s (no baseline in %s; not gated)\n", name, against)
+	}
+	for _, r := range cmp.Regressions {
 		fmt.Fprintf(out, "bench: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
 			r.Name, r.Base, r.Current, r.Ratio, 1+tolerance)
 	}
-	if len(regressions) > 0 {
+	if len(cmp.Regressions) > 0 {
 		return fmt.Errorf("%d of %d benchmarks regressed past +%.0f%% vs %s",
-			len(regressions), compared, tolerance*100, against)
+			len(cmp.Regressions), cmp.Compared, tolerance*100, against)
 	}
 	fmt.Fprintf(out, "bench: no regressions past +%.0f%% across %d benchmarks vs %s\n",
-		tolerance*100, compared, against)
+		tolerance*100, cmp.Compared, against)
 	return nil
 }
 

@@ -47,7 +47,7 @@ func realMain(args []string, out io.Writer) error {
 	md := fs.Bool("md", false, "emit the tables and figures as GitHub markdown")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario (instances scale with coverage)")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
-	benchOut := fs.String("bench-out", "", "measure the offline pipeline with the machine-readable harness and write JSON here (e.g. BENCH_6.json)")
+	benchOut := fs.String("bench-out", "", "measure the offline pipeline with the machine-readable harness and write JSON here (e.g. BENCH_7.json)")
 	benchTime := fs.Duration("bench-time", 200*time.Millisecond, "per-benchmark measurement budget for -bench-out (0 = one iteration)")
 	benchRounds := fs.Int("bench-rounds", 1, "measurement rounds per benchmark for -bench-out; medians over rounds feed -against")
 	checkFile := fs.String("check-bench", "", "validate a -bench-out JSON file against the schema and exit")

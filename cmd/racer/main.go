@@ -122,17 +122,24 @@ func usage() {
 
 commands (flags come before the file argument):
   run [-seed N] [-policy P] <prog.rasm>     execute a program on the RVM
-  record [-seed N] [-o LOG] [-keyframes N] <prog.rasm>
-                                            record an execution into a replay log
+  record [-seed N] [-o LOG] [-keyframes N] [-online [-stop-on-race]] <prog.rasm>
+                                            record an execution into a replay log;
+                                            -online adds an in-recording race
+                                            verdict, -stop-on-race ends the run
+                                            at the first confirmed race
   replay <LOG>                              deterministically replay a log
   detect [-detector hb|vc|lockset] <LOG>    find data races in a replayed log
   classify [-db FILE] [-race "A <-> B"] <LOG>
                                             classify races by dual-order replay
-  scenario -name NAME [-db FILE]        analyze one built-in workload scenario
-  suite [-db FILE] [-seeds N] [-jobs N] [-static]
+  scenario -name NAME [-db FILE] [-online]
+                                        analyze one built-in workload scenario
+  suite [-db FILE] [-seeds N] [-jobs N] [-static] [-online [-stop-on-race]]
                                         analyze all 18 built-in scenarios;
                                         -static adds the ahead-of-execution
-                                        cross-validation section
+                                        cross-validation section; -online
+                                        detects races during recording and
+                                        skips the offline pass for race-free
+                                        runs (the report is byte-identical)
   lint <prog.rasm...> | lint -scenario NAME
                                         static race analysis (no execution):
                                         CFG + constant propagation + must-hold
@@ -244,8 +251,13 @@ func cmdRecord(args []string) error {
 	out := fs.String("o", "out.rlog", "log output path")
 	policy := fs.String("policy", "random", "scheduler policy: random, rr, pct")
 	keyframes := fs.Uint64("keyframes", 0, "emit a key frame every N instructions (0 = off)")
+	online := fs.Bool("online", false, "detect races during recording and print the verdict")
+	stopOnRace := fs.Bool("stop-on-race", false, "with -online, stop recording at the first confirmed race")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
+	if *stopOnRace && !*online {
+		return fmt.Errorf("-stop-on-race requires -online")
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("record wants one program file")
 	}
@@ -263,13 +275,19 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	var log *racereplay.Log
-	if *keyframes > 0 {
+	var onlineRep *racereplay.OnlineReport
+	switch {
+	case *online:
+		log, onlineRep, err = racereplay.RecordOnlineInstrumented(prog, cfg, racereplay.OnlineConfig{
+			Detect: true, StopOnFirstRace: *stopOnRace, KeyFrameInterval: *keyframes,
+		}, reg)
+	case *keyframes > 0:
 		// Key-frame recording has no per-event metrics observer; time it
 		// under the record span so the ladder still sees the stage.
 		sp := reg.StartSpan("record")
 		log, err = racereplay.RecordWithKeyFrames(prog, cfg, *keyframes)
 		sp.End()
-	} else {
+	default:
 		log, err = racereplay.RecordInstrumented(prog, cfg, reg)
 	}
 	if err != nil {
@@ -287,6 +305,16 @@ func cmdRecord(args []string) error {
 	fmt.Fprintf(stdout, "recorded %d instructions across %d threads\n", s.Instructions, len(log.Threads))
 	fmt.Fprintf(stdout, "log: %d bytes raw (%.2f bits/instr), %d bytes compressed (%.2f bits/instr) -> %s\n",
 		s.RawBytes, s.RawBitsPerInstr(), s.CompressedBytes, s.CompressedBitsPerInstr(), *out)
+	if onlineRep != nil {
+		switch {
+		case onlineRep.RaceFree:
+			fmt.Fprintln(stdout, "online: race-free (offline analysis of this process's log would be skipped)")
+		case onlineRep.Stopped:
+			fmt.Fprintf(stdout, "online: raced (%d site pairs), recording stopped at first race\n", len(onlineRep.Races))
+		default:
+			fmt.Fprintf(stdout, "online: raced (%d site pairs)\n", len(onlineRep.Races))
+		}
+	}
 	return metrics.emit(reg)
 }
 
@@ -414,6 +442,7 @@ func cmdScenario(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	raceFilter := fs.String("race", "", "only report the race with this site pair")
 	dump := fs.Bool("dump", false, "print the scenario's generated assembly and exit")
+	online := fs.Bool("online", false, "detect races during recording; a race-free run skips the offline pass (report is byte-identical either way)")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	s, err := workloads.FindScenario(*name)
@@ -439,9 +468,14 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := racereplay.AnalyzeInstrumented(prog, s.Config(), racereplay.Options{
-		Scenario: s.Name, Seed: s.Seed, DB: db,
-	}, reg)
+	opts := racereplay.Options{Scenario: s.Name, Seed: s.Seed, DB: db}
+	var res *racereplay.Result
+	if *online {
+		res, err = racereplay.AnalyzeOnlineInstrumented(prog, s.Config(),
+			racereplay.OnlineConfig{Detect: true}, opts, reg)
+	} else {
+		res, err = racereplay.AnalyzeInstrumented(prog, s.Config(), opts, reg)
+	}
 	if err != nil {
 		return err
 	}
@@ -460,8 +494,13 @@ func cmdSuite(args []string) error {
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
 	benchOut := fs.String("bench-out", "", "also write a machine-readable timing sample of this run as bench JSON (stdout is unchanged)")
 	auditOut := fs.String("audit-out", "", "write the verdict-provenance trail (racereplay-audit/v1 JSON) to this file")
+	online := fs.Bool("online", false, "detect races during recording; race-free runs skip the offline pass (report is byte-identical either way)")
+	stopOnRace := fs.Bool("stop-on-race", false, "with -online, end each recording at its first confirmed race")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
+	if *stopOnRace && !*online {
+		return fmt.Errorf("-stop-on-race requires -online")
+	}
 	db, err := openDB(*dbPath)
 	if err != nil {
 		return err
@@ -482,7 +521,7 @@ func cmdSuite(args []string) error {
 	start := time.Now()
 	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
 		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg, Static: *staticStage,
-		Audit: *auditOut != "",
+		Audit: *auditOut != "", Online: *online, StopOnRace: *stopOnRace,
 	})
 	if err != nil {
 		return err
@@ -818,6 +857,13 @@ func cmdAnalyzeDir(args []string) error {
 		fmt.Fprint(stdout, report.StaticSection{Suite: staticOverDir(labels, results, reg)}.Render())
 	}
 	printQuarantine(quarantined)
+	if len(parts) == 0 {
+		// Exit-code contract, made explicit: a batch in which every
+		// input was quarantined analyzed nothing, so it must read as
+		// invalid input (2), never as "clean" (0) — even if the
+		// quarantine bookkeeping above ever changes shape.
+		raiseExit(2)
+	}
 	if _, harmful := merged.CountByVerdict(); harmful > 0 {
 		raiseExit(1)
 	}

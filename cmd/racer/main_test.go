@@ -458,6 +458,38 @@ func TestCmdAnalyzeDirQuarantinesCorruptLogs(t *testing.T) {
 	}
 }
 
+// TestCmdAnalyzeDirAllQuarantinedExits2 is the exit-code contract's edge
+// case: a directory in which *every* input file is quarantined analyzed
+// nothing, so the batch must exit 2 (invalid input) — never fall through
+// to 0 ("clean") on the strength of an empty merged report.
+func TestCmdAnalyzeDirAllQuarantinedExits2(t *testing.T) {
+	resetExit(t)
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := corruptCorpus(t)
+	for _, src := range corrupt {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(src)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := capture(t, func() error { return cmdAnalyzeDir([]string{"-dir", dir}) })
+	if !strings.Contains(out, "analyzed 0 recorded executions") {
+		t.Errorf("fully-quarantined batch should analyze nothing:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("quarantined: %d input(s)", len(corrupt))) {
+		t.Errorf("quarantine section missing or wrong:\n%s", out)
+	}
+	if exitCode != 2 {
+		t.Errorf("fully-quarantined batch exit = %d, want 2 (invalid input)", exitCode)
+	}
+}
+
 // TestCmdChaos: the CLI front end for the contract runner holds the
 // contract over a quick corruption sweep and renders the summary.
 func TestCmdChaos(t *testing.T) {

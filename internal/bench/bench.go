@@ -153,42 +153,63 @@ type Regression struct {
 	Ratio         float64 // Current / Base
 }
 
+// Comparison is the outcome of diffing a current bench file against a
+// baseline: the regressions past tolerance, how many benchmarks were
+// actually compared, and which current benchmarks had no usable baseline.
+type Comparison struct {
+	Regressions []Regression
+	Compared    int
+	// New lists current benchmarks with no usable baseline median —
+	// absent from the baseline file, or present with a zero/NaN/Inf
+	// median. They are reported, not failed: a freshly added benchmark
+	// must read as "new entry" against an older BENCH_*.json, never as a
+	// division-by-zero ratio or a spurious regression.
+	New []string
+}
+
 // Compare diffs cur against base by median ns/op and returns every
 // benchmark whose slowdown exceeds tolerance (0.25 = fail above +25%),
-// plus the number of benchmarks present in both files. Benchmarks that
-// exist on only one side are skipped — renames must not fail the gate —
-// but an empty intersection is an error, since it means the gate
-// compared nothing.
-func Compare(base, cur *File, tolerance float64) ([]Regression, int, error) {
+// the number of benchmarks present and comparable in both files, and the
+// current benchmarks that are new (no usable baseline). Benchmarks that
+// exist only in the baseline are skipped — renames must not fail the
+// gate — but an empty comparable intersection is an error, since it
+// means the gate compared nothing.
+func Compare(base, cur *File, tolerance float64) (*Comparison, error) {
 	if err := base.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("baseline: %w", err)
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	if err := cur.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("current: %w", err)
+		return nil, fmt.Errorf("current: %w", err)
 	}
 	baseline := make(map[string]Result, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
-	var regressions []Regression
-	compared := 0
+	usable := func(m float64) bool {
+		return m > 0 && !math.IsNaN(m) && !math.IsInf(m, 0)
+	}
+	cmp := &Comparison{}
 	for _, c := range cur.Benchmarks {
 		b, ok := baseline[c.Name]
-		if !ok {
+		bm := 0.0
+		if ok {
+			bm = b.Median()
+		}
+		if !ok || !usable(bm) {
+			cmp.New = append(cmp.New, c.Name)
 			continue
 		}
-		compared++
-		bm, cm := b.Median(), c.Median()
-		if cm > bm*(1+tolerance) {
-			regressions = append(regressions, Regression{
+		cmp.Compared++
+		if cm := c.Median(); cm > bm*(1+tolerance) {
+			cmp.Regressions = append(cmp.Regressions, Regression{
 				Name: c.Name, Base: bm, Current: cm, Ratio: cm / bm,
 			})
 		}
 	}
-	if compared == 0 {
-		return nil, 0, fmt.Errorf("no benchmarks in common between baseline and current file")
+	if cmp.Compared == 0 {
+		return nil, fmt.Errorf("no comparable benchmarks between baseline and current file (%d new)", len(cmp.New))
 	}
-	return regressions, compared, nil
+	return cmp, nil
 }
 
 // Validate checks the envelope against the schema CI enforces: right

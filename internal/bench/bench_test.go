@@ -124,31 +124,78 @@ func TestCompare(t *testing.T) {
 		Result{Name: "b", N: 1, NsPerOp: 130},
 		Result{Name: "new", N: 1, NsPerOp: 100},
 	)
-	regressions, compared, err := Compare(base, cur, 0.25)
+	cmp, err := Compare(base, cur, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if compared != 2 {
-		t.Errorf("compared = %d, want 2 (renames skipped)", compared)
+	if cmp.Compared != 2 {
+		t.Errorf("compared = %d, want 2 (renames skipped)", cmp.Compared)
 	}
-	if len(regressions) != 1 || regressions[0].Name != "b" {
-		t.Fatalf("regressions = %+v, want just b", regressions)
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0].Name != "b" {
+		t.Fatalf("regressions = %+v, want just b", cmp.Regressions)
 	}
-	if r := regressions[0]; r.Base != 100 || r.Current != 130 || r.Ratio != 1.3 {
+	if r := cmp.Regressions[0]; r.Base != 100 || r.Current != 130 || r.Ratio != 1.3 {
 		t.Errorf("regression record = %+v", r)
 	}
-
-	if _, _, err := Compare(base, cur, 0.5); err != nil {
-		t.Fatal(err)
-	} else if regs, _, _ := Compare(base, cur, 0.5); len(regs) != 0 {
-		t.Errorf("tolerance 0.5 still flagged %+v", regs)
+	if len(cmp.New) != 1 || cmp.New[0] != "new" {
+		t.Errorf("new entries = %v, want [new]", cmp.New)
 	}
 
-	if _, _, err := Compare(base, mk(Result{Name: "other", N: 1, NsPerOp: 1}), 0.25); err == nil {
+	if cmp, err := Compare(base, cur, 0.5); err != nil {
+		t.Fatal(err)
+	} else if len(cmp.Regressions) != 0 {
+		t.Errorf("tolerance 0.5 still flagged %+v", cmp.Regressions)
+	}
+
+	if _, err := Compare(base, mk(Result{Name: "other", N: 1, NsPerOp: 1}), 0.25); err == nil {
 		t.Error("empty intersection accepted")
 	}
-	if _, _, err := Compare(&File{}, cur, 0.25); err == nil {
+	if _, err := Compare(&File{}, cur, 0.25); err == nil {
 		t.Error("invalid baseline accepted")
+	}
+}
+
+// TestCompareNewEntryNoDivideByZero: a benchmark whose baseline median is
+// zero or non-finite must land in New — never produce a NaN/Inf ratio or
+// a spurious regression. Files like that cannot pass Validate, so this
+// exercises the defensive guard through a baseline constructed after
+// validation would have run.
+func TestCompareNewEntryNoDivideByZero(t *testing.T) {
+	mk := func(results ...Result) *File {
+		f := NewFile()
+		f.Benchmarks = results
+		return f
+	}
+	// "zeroed" passes validation via NsPerOp but its samples drive the
+	// median: Median prefers Samples when present. Samples must each be
+	// finite and positive to validate, so impose the zero through the
+	// only validated-reachable route — a baseline missing the name
+	// entirely — and the guard route via a handcrafted Result below.
+	base := mk(
+		Result{Name: "a", N: 1, NsPerOp: 100},
+	)
+	cur := mk(
+		Result{Name: "a", N: 1, NsPerOp: 100},
+		Result{Name: "fresh", N: 1, NsPerOp: 42},
+	)
+	cmp, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("fresh benchmark flagged as regression: %+v", cmp.Regressions)
+	}
+	if len(cmp.New) != 1 || cmp.New[0] != "fresh" {
+		t.Fatalf("new entries = %v, want [fresh]", cmp.New)
+	}
+	for _, r := range cmp.Regressions {
+		if math.IsNaN(r.Ratio) || math.IsInf(r.Ratio, 0) {
+			t.Fatalf("non-finite ratio leaked: %+v", r)
+		}
+	}
+	// All-new current file: the gate compared nothing and must say so.
+	if _, err := Compare(base, mk(Result{Name: "fresh", N: 1, NsPerOp: 42}), 0.25); err == nil {
+		t.Error("all-new current file should be an empty-intersection error")
 	}
 }
 

@@ -32,6 +32,12 @@ type Result struct {
 	Exec           *replay.Execution
 	Races          *hb.Report
 	Classification *classify.Classification
+
+	// ObservedSites carries the executed data-access sites when the
+	// online race-free fast path skipped the replay (Exec == nil), so
+	// static cross-validation still sees the run's site coverage. It is
+	// nil whenever Exec is populated.
+	ObservedSites []string
 }
 
 // LogStats measures the recorded log's footprint (§5.1 metrics).
@@ -59,6 +65,20 @@ func RecordInstrumented(prog *isa.Program, cfg machine.Config, reg *obs.Registry
 	return record.RunInstrumented(prog, cfg, reg)
 }
 
+// RecordOnline is Record with the online race detector attached (per
+// oc): the returned log carries the raced/race-free verdict as its
+// in-memory Online annotation, and the detector's report comes back
+// alongside. With oc.Detect false it degrades to Record.
+func RecordOnline(prog *isa.Program, cfg machine.Config, oc record.OnlineConfig) (*trace.Log, *machine.Result, *hb.OnlineReport, error) {
+	return record.RunOnline(prog, cfg, oc)
+}
+
+// RecordOnlineInstrumented is RecordOnline with stage metrics, including
+// the detect.online.* family. A nil reg is exactly RecordOnline.
+func RecordOnlineInstrumented(prog *isa.Program, cfg machine.Config, oc record.OnlineConfig, reg *obs.Registry) (*trace.Log, *machine.Result, *hb.OnlineReport, error) {
+	return record.RunOnlineInstrumented(prog, cfg, oc, reg)
+}
+
 // AnalyzeLog runs the offline half over an existing log: replay,
 // happens-before detection, and dual-order classification.
 func AnalyzeLog(log *trace.Log, opts classify.Options) (*Result, error) {
@@ -70,6 +90,15 @@ func AnalyzeLog(log *trace.Log, opts classify.Options) (*Result, error) {
 // publishes its counters into reg, which is also forwarded to the
 // classifier and virtual processor. A nil reg is exactly AnalyzeLog.
 func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Registry) (*Result, error) {
+	// Race-free fast path: when an online detector watched the recording
+	// and saw no race, its verdict provably matches the offline detector
+	// on this log, so replay+detect+classify would only reconfirm an
+	// empty report. The annotation is in-memory only (never decoded from
+	// disk) and any raced or stopped run falls through to the full
+	// offline pass, which remains the source of truth.
+	if log.Online != nil && log.Online.RaceFree && !log.Online.Stopped {
+		return analyzeRaceFreeFast(log, opts, reg)
+	}
 	sp := reg.StartSpan("replay")
 	exec, err := replay.Run(log, replay.Options{Metrics: reg})
 	sp.End()
@@ -91,6 +120,31 @@ func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Regi
 		Exec:           exec,
 		Races:          races,
 		Classification: cls,
+	}, nil
+}
+
+// analyzeRaceFreeFast produces the Result a full offline pass would
+// return for a log the online detector certified race-free: an empty
+// race report and an empty classification, with the observed data-access
+// sites carried over for static cross-validation. Downstream renderers
+// and merges treat it identically to an offline zero-race result.
+func analyzeRaceFreeFast(log *trace.Log, opts classify.Options, reg *obs.Registry) (*Result, error) {
+	sp := reg.StartSpan("fastpath")
+	sites := make([]string, 0, len(log.Online.ObservedPCs))
+	for _, pc := range log.Online.ObservedPCs {
+		sites = append(sites, log.Prog.SiteOf(pc))
+	}
+	sp.End()
+	reg.Counter("detect.online.fastpath").Inc()
+	reg.Logger().Debug("online fast path",
+		"scenario", opts.Scenario, "seed", opts.Seed,
+		"observed_sites", len(sites))
+	return &Result{
+		Prog:           log.Prog,
+		Log:            log,
+		Races:          &hb.Report{},
+		Classification: &classify.Classification{},
+		ObservedSites:  sites,
 	}, nil
 }
 
@@ -204,6 +258,26 @@ func Analyze(prog *isa.Program, cfg machine.Config, opts classify.Options) (*Res
 // every layer of the pipeline. A nil reg is exactly Analyze.
 func AnalyzeInstrumented(prog *isa.Program, cfg machine.Config, opts classify.Options, reg *obs.Registry) (*Result, error) {
 	log, mres, err := RecordInstrumented(prog, cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	res, err := AnalyzeLogInstrumented(log, opts, reg)
+	if err != nil {
+		return nil, err
+	}
+	res.Machine = mres
+	return res, nil
+}
+
+// AnalyzeOnlineInstrumented is AnalyzeInstrumented with online detection
+// during the recording: a race-free online verdict lets the analysis
+// half skip replay+detect+classify entirely (the fast path), while a
+// raced verdict takes the usual full offline pass.
+func AnalyzeOnlineInstrumented(prog *isa.Program, cfg machine.Config, oc record.OnlineConfig, opts classify.Options, reg *obs.Registry) (*Result, error) {
+	log, mres, _, err := RecordOnlineInstrumented(prog, cfg, oc, reg)
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,12 @@ func CollectEvidence(results []*Result) static.DynamicEvidence {
 					ev.ObservedSites[acc.Site(r.Exec.Prog)] = true
 				}
 			}
+		} else {
+			// The online race-free fast path skips the replay; the sites
+			// it observed during recording stand in for the replay's.
+			for _, site := range r.ObservedSites {
+				ev.ObservedSites[site] = true
+			}
 		}
 		if r.Classification != nil {
 			for _, rr := range r.Classification.Races {

@@ -1,0 +1,7 @@
+package hb
+
+// Test hooks for the bounded site-string cache (sites.go).
+
+func ResetSiteCacheForTest()    { resetSiteCache() }
+func SiteCacheSizeForTest() int { return siteCacheSize() }
+func MaxSitePrograms() int      { return maxSitePrograms }

@@ -1,10 +1,11 @@
-package hb
+package hb_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/hb"
 	"repro/internal/machine"
 	"repro/internal/record"
 	"repro/internal/replay"
@@ -90,7 +91,7 @@ main:
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := Detect(exec)
+		rep := hb.Detect(exec)
 		var t2Races, t3Races bool
 		for _, race := range rep.Races {
 			s := race.Sites.String()
@@ -138,7 +139,7 @@ func containsAll(s string, subs ...string) bool {
 	return true
 }
 
-func findRace(rep *Report, subA, subB string) *Race {
+func findRace(rep *hb.Report, subA, subB string) *hb.Race {
 	for _, race := range rep.Races {
 		if containsAll(race.Sites.String(), subA, subB) {
 			return race

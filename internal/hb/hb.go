@@ -211,22 +211,11 @@ func detect(exec *replay.Execution, concurrent func(a, b *replay.Region) bool, r
 	var readsBuf, writesBuf []replay.Access
 	var emitted []SitePair
 
-	// Site strings are pure functions of the PC; formatting them once per
-	// PC instead of once per emitted instance keeps the hot pair loops
-	// free of fmt work. SiteOf never returns "", so "" marks an unfilled
-	// slot.
-	siteCache := make([]string, len(exec.Prog.Code))
-	siteOf := func(pc int) string {
-		if pc < 0 || pc >= len(siteCache) {
-			return exec.Prog.SiteOf(pc)
-		}
-		s := siteCache[pc]
-		if s == "" {
-			s = exec.Prog.SiteOf(pc)
-			siteCache[pc] = s
-		}
-		return s
-	}
+	// Site strings are pure functions of the PC; the bounded package-level
+	// table (sites.go) formats each program's sites once and shares them
+	// across detector passes, seeds, and the online observer, keeping the
+	// hot pair loops free of fmt work.
+	siteOf := sitesFor(exec.Prog).site
 
 	for _, addr := range addrs {
 		s := &screens[slotOf[addr]]

@@ -1,10 +1,11 @@
-package hb
+package hb_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/hb"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/record"
@@ -12,7 +13,7 @@ import (
 	"repro/internal/trace"
 )
 
-func analyze(t *testing.T, src string, seed int64) (*replay.Execution, *Report) {
+func analyze(t *testing.T, src string, seed int64) (*replay.Execution, *hb.Report) {
 	t.Helper()
 	prog, err := asm.Assemble("hb", src)
 	if err != nil {
@@ -26,7 +27,7 @@ func analyze(t *testing.T, src string, seed int64) (*replay.Execution, *Report) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	return exec, Detect(exec)
+	return exec, hb.Detect(exec)
 }
 
 const twoWorkers = `
@@ -230,10 +231,10 @@ mwrite:
 }
 
 func TestInstanceDedupAndSitePairs(t *testing.T) {
-	if MakeSitePair("b", "a") != (SitePair{A: "a", B: "b"}) {
-		t.Error("MakeSitePair should sort")
+	if hb.MakeSitePair("b", "a") != (hb.SitePair{A: "a", B: "b"}) {
+		t.Error("hb.MakeSitePair should sort")
 	}
-	if MakeSitePair("a", "b") != MakeSitePair("b", "a") {
+	if hb.MakeSitePair("a", "b") != hb.MakeSitePair("b", "a") {
 		t.Error("site pairs must be unordered")
 	}
 }
@@ -260,7 +261,7 @@ wloop:
 ` + twoWorkers
 	for seed := int64(1); seed <= 6; seed++ {
 		exec, rep := analyze(t, src, seed)
-		vcRep, err := DetectVC(exec)
+		vcRep, err := hb.DetectVC(exec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +307,7 @@ mread:
 	foundGap := false
 	for seed := int64(1); seed <= 40 && !foundGap; seed++ {
 		exec, rep := analyze(t, src, seed)
-		vcRep, err := DetectVC(exec)
+		vcRep, err := hb.DetectVC(exec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -314,7 +315,7 @@ mread:
 		if vcRep.TotalInstances < rep.TotalInstances {
 			t.Fatalf("seed %d: vc (%d) < interval (%d)", seed, vcRep.TotalInstances, rep.TotalInstances)
 		}
-		has := func(r *Report) bool {
+		has := func(r *hb.Report) bool {
 			for _, race := range r.Races {
 				s := race.Sites.String()
 				if strings.Contains(s, "cwrite") && strings.Contains(s, "mread") {
@@ -336,11 +337,11 @@ mread:
 }
 
 func TestReportRaceLookup(t *testing.T) {
-	rep := &Report{Races: []*Race{{Sites: SitePair{A: "x", B: "y"}}}}
-	if rep.Race(SitePair{A: "x", B: "y"}) == nil {
+	rep := &hb.Report{Races: []*hb.Race{{Sites: hb.SitePair{A: "x", B: "y"}}}}
+	if rep.Race(hb.SitePair{A: "x", B: "y"}) == nil {
 		t.Error("lookup failed")
 	}
-	if rep.Race(SitePair{A: "q", B: "z"}) != nil {
+	if rep.Race(hb.SitePair{A: "q", B: "z"}) != nil {
 		t.Error("phantom race")
 	}
 }
@@ -377,9 +378,9 @@ worker:
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := Detect(exec)
+	first := hb.Detect(exec)
 	for round := 0; round < 5; round++ {
-		again := Detect(exec)
+		again := hb.Detect(exec)
 		if len(again.Races) != len(first.Races) || again.TotalInstances != first.TotalInstances {
 			t.Fatalf("round %d: race/instance counts changed", round)
 		}
@@ -437,7 +438,7 @@ wloop:
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, b := Detect(execA), Detect(execB)
+	a, b := hb.Detect(execA), hb.Detect(execB)
 	if len(a.Races) != len(b.Races) || a.TotalInstances != b.TotalInstances {
 		t.Fatalf("serialization changed detection: %d/%d vs %d/%d",
 			len(a.Races), a.TotalInstances, len(b.Races), b.TotalInstances)
@@ -478,7 +479,7 @@ worker:
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	rep := DetectInstrumented(exec, reg)
+	rep := hb.DetectInstrumented(exec, reg)
 	snap := reg.Snapshot()
 	if got := snap.Counters["detect.executions"]; got != 1 {
 		t.Errorf("detect.executions = %d, want 1", got)
@@ -496,7 +497,7 @@ worker:
 		t.Error("detect.region_pairs_examined not published")
 	}
 	// The same counters accumulate across the VC ablation.
-	if _, err := DetectVCInstrumented(exec, reg); err != nil {
+	if _, err := hb.DetectVCInstrumented(exec, reg); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Snapshot().Counters["detect.executions"]; got != 2 {

@@ -93,6 +93,16 @@ type KeyFramer interface {
 	AfterRetire(t *Thread)
 }
 
+// Stopper is an optional Observer extension: the machine polls
+// StopRequested at scheduling-quantum boundaries and ends the run early
+// when it returns true. The check sits outside the per-instruction hot
+// loop, so the whole quantum that triggered the stop still retires and
+// the truncation point is deterministic for a given seed. Like KeyFramer,
+// the interface is detected once at construction.
+type Stopper interface {
+	StopRequested() bool
+}
+
 // Config controls one deterministic machine run.
 type Config struct {
 	Seed         int64  // scheduler seed; runs with equal Seed are identical
@@ -135,6 +145,7 @@ type Result struct {
 	TotalSteps uint64
 	Deadlocked bool
 	FinalClock uint64
+	Stopped    bool // a Stopper observer ended the run early
 }
 
 // Machine executes one program deterministically.
@@ -150,6 +161,8 @@ type Machine struct {
 	retired  uint64 // global retired-instruction count (virtual time)
 	obs      Observer
 	kf       KeyFramer
+	stopper  Stopper
+	stopped  bool
 	pendTS   uint64 // timestamp pre-allocated for the sync op in flight
 	liveCnt  int
 	deadlock bool
@@ -178,6 +191,9 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	}
 	if kf, ok := cfg.Observer.(KeyFramer); ok {
 		m.kf = kf
+	}
+	if st, ok := cfg.Observer.(Stopper); ok {
+		m.stopper = st
 	}
 	m.mem.LoadInit(prog.Data)
 	t0 := &Thread{ID: 0, State: Runnable}
@@ -220,6 +236,10 @@ func (m *Machine) nextRand() uint64 {
 // deadlock, or the step budget. It is not restartable.
 func (m *Machine) Run() *Result {
 	for m.retired < m.cfg.MaxSteps {
+		if m.stopper != nil && m.stopper.StopRequested() {
+			m.stopped = true
+			break
+		}
 		t := m.pick()
 		if t == nil {
 			break
@@ -238,6 +258,7 @@ func (m *Machine) Run() *Result {
 		TotalSteps: m.retired,
 		Deadlocked: m.deadlock,
 		FinalClock: m.clock,
+		Stopped:    m.stopped,
 	}
 }
 

@@ -9,9 +9,10 @@ import "repro/internal/isa"
 // observer sees the identical stream of callbacks.
 //
 // Construct it with NewMultiObserver, which also preserves the KeyFramer
-// extension: the result implements KeyFramer exactly when at least one
-// wrapped observer does, so the machine's construction-time interface
-// check keeps working and plain observers still pay nothing per retire.
+// and Stopper extensions: the result implements each exactly when at
+// least one wrapped observer does, so the machine's construction-time
+// interface checks keep working and plain observers still pay nothing
+// per retire or per quantum.
 type MultiObserver struct {
 	obs []Observer
 }
@@ -22,6 +23,7 @@ type MultiObserver struct {
 func NewMultiObserver(observers ...Observer) Observer {
 	list := make([]Observer, 0, len(observers))
 	kfs := make([]KeyFramer, 0, len(observers))
+	stops := make([]Stopper, 0, len(observers))
 	for _, o := range observers {
 		if o == nil {
 			continue
@@ -29,6 +31,9 @@ func NewMultiObserver(observers ...Observer) Observer {
 		list = append(list, o)
 		if kf, ok := o.(KeyFramer); ok {
 			kfs = append(kfs, kf)
+		}
+		if st, ok := o.(Stopper); ok {
+			stops = append(stops, st)
 		}
 	}
 	switch len(list) {
@@ -38,8 +43,16 @@ func NewMultiObserver(observers ...Observer) Observer {
 		return list[0]
 	}
 	m := &MultiObserver{obs: list}
-	if len(kfs) > 0 {
+	switch {
+	case len(kfs) > 0 && len(stops) > 0:
+		return &multiKeyFramerStopper{
+			multiKeyFramer: multiKeyFramer{MultiObserver: m, kfs: kfs},
+			stops:          stops,
+		}
+	case len(kfs) > 0:
 		return &multiKeyFramer{MultiObserver: m, kfs: kfs}
+	case len(stops) > 0:
+		return &multiStopper{MultiObserver: m, stops: stops}
 	}
 	return m
 }
@@ -98,4 +111,38 @@ func (m *multiKeyFramer) AfterRetire(t *Thread) {
 	for _, kf := range m.kfs {
 		kf.AfterRetire(t)
 	}
+}
+
+// multiStopper is the fan-out variant returned when some wrapped observer
+// implements Stopper; the run stops as soon as any of them asks.
+type multiStopper struct {
+	*MultiObserver
+	stops []Stopper
+}
+
+// StopRequested implements Stopper.
+func (m *multiStopper) StopRequested() bool {
+	for _, st := range m.stops {
+		if st.StopRequested() {
+			return true
+		}
+	}
+	return false
+}
+
+// multiKeyFramerStopper combines both extensions when the wrapped set
+// contains at least one of each.
+type multiKeyFramerStopper struct {
+	multiKeyFramer
+	stops []Stopper
+}
+
+// StopRequested implements Stopper.
+func (m *multiKeyFramerStopper) StopRequested() bool {
+	for _, st := range m.stops {
+		if st.StopRequested() {
+			return true
+		}
+	}
+	return false
 }

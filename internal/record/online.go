@@ -1,0 +1,150 @@
+// Online recording: the recorder and the hb.Online detector share one
+// observer fan-out, so a single execution yields both the replay log and
+// a raced/race-free verdict with no second decode pass. The verdict rides
+// on the log as the in-memory trace.OnlineInfo annotation; the offline
+// detector stays the source of truth whenever the verdict is "raced".
+package record
+
+import (
+	"repro/internal/hb"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// OnlineConfig controls online detection during recording.
+type OnlineConfig struct {
+	// Detect attaches the hb.Online observer. When false the run is a
+	// plain recording (key frames still honored) and no annotation is
+	// stamped on the log.
+	Detect bool
+	// StopOnFirstRace ends the run at the next scheduling-quantum
+	// boundary after the first race is observed. The truncated log is
+	// still valid (live threads get synthetic end sequencers) and the
+	// offline pass confirms the race on it; the truncation point is
+	// deterministic for a given seed.
+	StopOnFirstRace bool
+	// KeyFrameInterval, when positive, records key frames every that
+	// many retired instructions (as RunWithKeyFrames).
+	KeyFrameInterval uint64
+	// DownsampleFactor multiplies the key-frame interval once a race is
+	// confirmed: the run's fate is sealed (full offline analysis), so
+	// dense resume points stop paying for themselves. 0 means the
+	// default of 8; 1 disables down-sampling.
+	DownsampleFactor uint64
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.DownsampleFactor == 0 {
+		c.DownsampleFactor = 8
+	}
+	return c
+}
+
+// downsamplingKeyFramer widens the key-frame interval the first time the
+// online detector confirms a race.
+type downsamplingKeyFramer struct {
+	*KeyFrameRecorder
+	online      *hb.Online
+	factor      uint64
+	downsampled bool
+	reg         *obs.Registry
+}
+
+// AfterRetire implements machine.KeyFramer.
+func (r *downsamplingKeyFramer) AfterRetire(t *machine.Thread) {
+	if !r.downsampled && r.factor > 1 && r.online.Raced() {
+		r.Interval *= r.factor
+		r.downsampled = true
+		if r.reg != nil {
+			r.reg.Counter("record.keyframes.downsampled").Inc()
+		}
+	}
+	r.KeyFrameRecorder.AfterRetire(t)
+}
+
+// RunOnline records prog with the online detector attached (per oc) and
+// returns the log — annotated with the verdict — plus the machine result
+// and the detector's report. With oc.Detect false the report is nil and
+// the call degrades to Run / RunWithKeyFrames.
+func RunOnline(prog *isa.Program, cfg machine.Config, oc OnlineConfig) (*trace.Log, *machine.Result, *hb.OnlineReport, error) {
+	return RunOnlineInstrumented(prog, cfg, oc, nil)
+}
+
+// RunOnlineInstrumented is RunOnline with stage metrics: the record span,
+// the recorder counters, the machine.MetricsObserver, and the
+// detect.online.* family all publish into reg. A nil reg records without
+// metrics.
+func RunOnlineInstrumented(prog *isa.Program, cfg machine.Config, oc OnlineConfig, reg *obs.Registry) (*trace.Log, *machine.Result, *hb.OnlineReport, error) {
+	oc = oc.withDefaults()
+	if !oc.Detect {
+		var (
+			log *trace.Log
+			res *machine.Result
+			err error
+		)
+		switch {
+		case reg != nil && oc.KeyFrameInterval == 0:
+			log, res, err = RunInstrumented(prog, cfg, reg)
+		case oc.KeyFrameInterval > 0:
+			log, res, err = RunWithKeyFrames(prog, cfg, oc.KeyFrameInterval)
+		default:
+			log, res, err = Run(prog, cfg)
+		}
+		return log, res, nil, err
+	}
+
+	var sp *obs.Span
+	if reg != nil {
+		sp = reg.StartSpan("record")
+	}
+	online := hb.NewOnline(prog, reg, oc.StopOnFirstRace)
+	var rec *Recorder
+	var observers []machine.Observer
+	if oc.KeyFrameInterval > 0 {
+		kfr := NewWithKeyFrames(prog, cfg.Seed, oc.KeyFrameInterval)
+		rec = kfr.Recorder
+		observers = append(observers, &downsamplingKeyFramer{
+			KeyFrameRecorder: kfr,
+			online:           online,
+			factor:           oc.DownsampleFactor,
+			reg:              reg,
+		})
+	} else {
+		rec = New(prog, cfg.Seed)
+		observers = append(observers, rec)
+	}
+	rec.Metrics = reg
+	observers = append(observers, online)
+	if reg != nil {
+		observers = append(observers, machine.NewMetricsObserver(reg))
+	}
+	cfg.Observer = machine.NewMultiObserver(observers...)
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		if sp != nil {
+			sp.End()
+		}
+		return nil, nil, nil, err
+	}
+	res := m.Run()
+	log := rec.Finish(res)
+	rep := online.Report(res.Stopped)
+	log.Online = online.Info(res.Stopped)
+	if sp != nil {
+		sp.End()
+	}
+	if err := log.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if reg != nil {
+		st := trace.Stats(log)
+		reg.Gauge("record.bits_per_instr_raw").Set(st.RawBitsPerInstr())
+		reg.Gauge("record.bits_per_instr_compressed").Set(st.CompressedBitsPerInstr())
+		reg.Counter("record.log_bytes_raw").Add(uint64(st.RawBytes))
+		reg.Counter("record.log_bytes_compressed").Add(uint64(st.CompressedBytes))
+		reg.Counter("record.executions").Inc()
+	}
+	return log, res, rep, nil
+}

@@ -1,7 +1,8 @@
-package replay
+package replay_test
 
 import (
 	"fmt"
+	"repro/internal/replay"
 	"testing"
 
 	"repro/internal/asm"
@@ -27,9 +28,9 @@ func recordSrc(t *testing.T, src string, cfg machine.Config) (*trace.Log, *machi
 
 // assertReplayMatches replays log and checks per-thread output and final
 // register state against the original machine run.
-func assertReplayMatches(t *testing.T, log *trace.Log, res *machine.Result) *Execution {
+func assertReplayMatches(t *testing.T, log *trace.Log, res *machine.Result) *replay.Execution {
 	t.Helper()
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ main:
 
 func TestRegionsPartitionThreads(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 4})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,10 +226,10 @@ func TestRegionsPartitionThreads(t *testing.T) {
 }
 
 func TestRegionOverlap(t *testing.T) {
-	a := &Region{TID: 0, StartTS: 1, EndTS: 5}
-	b := &Region{TID: 1, StartTS: 4, EndTS: 9}
-	c := &Region{TID: 1, StartTS: 5, EndTS: 9}
-	d := &Region{TID: 0, StartTS: 4, EndTS: 9}
+	a := &replay.Region{TID: 0, StartTS: 1, EndTS: 5}
+	b := &replay.Region{TID: 1, StartTS: 4, EndTS: 9}
+	c := &replay.Region{TID: 1, StartTS: 5, EndTS: 9}
+	d := &replay.Region{TID: 0, StartTS: 4, EndTS: 9}
 	if !a.Overlaps(b) || !b.Overlaps(a) {
 		t.Error("intersecting intervals should overlap")
 	}
@@ -251,11 +252,11 @@ main:
   halt
 `
 	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got []Access
+	var got []replay.Access
 	for _, r := range exec.Regions {
 		got = append(got, r.Accesses...)
 	}
@@ -285,7 +286,7 @@ main:
   halt
 `
 	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ main:
   halt
 `
 	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ main:
 		t.Fatalf("heap events = %d, want 2", len(exec.HeapEvents))
 	}
 	base := exec.HeapEvents[0].Base
-	if exec.HeapEvents[0].Kind != HeapAlloc || exec.HeapEvents[1].Kind != HeapFree {
+	if exec.HeapEvents[0].Kind != replay.HeapAlloc || exec.HeapEvents[1].Kind != replay.HeapFree {
 		t.Fatal("heap event kinds wrong")
 	}
 	if exec.PoisonedAt(base, 1) {
@@ -368,7 +369,7 @@ main:
   halt
 `
 	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,14 +406,14 @@ func TestReplayDetectsCorruptLog(t *testing.T) {
 			mut.Threads = append(mut.Threads, tl)
 		}
 	}
-	if _, err := Run(mut, Options{}); err == nil {
+	if _, err := replay.Run(mut, replay.Options{}); err == nil {
 		t.Error("replay of corrupt log should fail")
 	}
 }
 
 func TestSkipAccessesStillReproduces(t *testing.T) {
 	log, res := recordSrc(t, racyCounterSrc, machine.Config{Seed: 13})
-	exec, err := Run(log, Options{SkipAccesses: true})
+	exec, err := replay.Run(log, replay.Options{SkipAccesses: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +522,7 @@ main:
 
 func TestTimeTravelPrefixes(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 9})
-	full, err := Run(log, Options{})
+	full, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -533,7 +534,7 @@ func TestTimeTravelPrefixes(t *testing.T) {
 	// image must evolve monotonically toward the full image.
 	prev := -1
 	for _, n := range []int{1, total / 2, total} {
-		exec, err := StateAt(log, n)
+		exec, err := replay.StateAt(log, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -546,7 +547,7 @@ func TestTimeTravelPrefixes(t *testing.T) {
 		prev = len(exec.FinalMem)
 	}
 	// The full prefix equals the plain replay.
-	last, err := StateAt(log, total)
+	last, err := replay.StateAt(log, total)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -559,7 +560,7 @@ func TestTimeTravelPrefixes(t *testing.T) {
 
 func TestStateAtClampsToOne(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 2})
-	exec, err := StateAt(log, 0)
+	exec, err := replay.StateAt(log, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

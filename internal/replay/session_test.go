@@ -1,6 +1,7 @@
-package replay
+package replay_test
 
 import (
+	"repro/internal/replay"
 	"testing"
 
 	"repro/internal/machine"
@@ -8,11 +9,11 @@ import (
 
 func TestSessionStepMatchesRun(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 8})
-	full, err := Run(log, Options{})
+	full, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := NewSession(log, Options{})
+	sess, err := replay.NewSession(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestSessionStepMatchesRun(t *testing.T) {
 	for _, th := range full.Threads {
 		got := exec.Thread(th.TID)
 		if got.FinalCpu.Regs != th.FinalCpu.Regs {
-			t.Errorf("thread %d state differs between Run and stepped session", th.TID)
+			t.Errorf("thread %d state differs between replay.Run and stepped session", th.TID)
 		}
 	}
 	for addr, v := range full.FinalMem {
@@ -43,7 +44,7 @@ func TestSessionStepMatchesRun(t *testing.T) {
 
 func TestSnapshotRestoreReproducesExactly(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 3})
-	sess, err := NewSession(log, Options{})
+	sess, err := replay.NewSession(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestSnapshotRestoreRepeatedly(t *testing.T) {
 	// Restoring the same snapshot many times and replaying different
 	// distances must always be consistent (no state leaks across restores).
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 12})
-	sess, err := NewSession(log, Options{})
+	sess, err := replay.NewSession(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,4 +139,14 @@ func TestSnapshotRestoreRepeatedly(t *testing.T) {
 			want[dist] = img
 		}
 	}
+}
+
+// copyMap snapshots a memory image; the replay package keeps its own
+// unexported twin for Session.Snapshot.
+func copyMap(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }

@@ -1,6 +1,7 @@
-package replay
+package replay_test
 
 import (
+	"repro/internal/replay"
 	"testing"
 
 	"repro/internal/asm"
@@ -36,11 +37,11 @@ func TestThreadStateAtMatchesFullReplay(t *testing.T) {
 
 	for _, tl := range plain.Threads {
 		for _, idx := range []uint64{0, tl.Retired / 3, tl.Retired / 2, tl.Retired} {
-			a, err := ThreadStateAt(plain, tl.TID, idx)
+			a, err := replay.ThreadStateAt(plain, tl.TID, idx)
 			if err != nil {
 				t.Fatalf("plain tid %d idx %d: %v", tl.TID, idx, err)
 			}
-			b, err := ThreadStateAt(framed, tl.TID, idx)
+			b, err := replay.ThreadStateAt(framed, tl.TID, idx)
 			if err != nil {
 				t.Fatalf("framed tid %d idx %d: %v", tl.TID, idx, err)
 			}
@@ -54,11 +55,11 @@ func TestThreadStateAtMatchesFullReplay(t *testing.T) {
 			}
 		}
 		// The final state equals the full replay's.
-		full, err := Run(plain, Options{})
+		full, err := replay.Run(plain, replay.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := ThreadStateAt(framed, tl.TID, tl.Retired)
+		st, err := replay.ThreadStateAt(framed, tl.TID, tl.Retired)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,10 +78,10 @@ func TestThreadStateAtErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ThreadStateAt(log, 99, 0); err == nil {
+	if _, err := replay.ThreadStateAt(log, 99, 0); err == nil {
 		t.Error("unknown thread accepted")
 	}
-	if _, err := ThreadStateAt(log, 0, 1<<40); err == nil {
+	if _, err := replay.ThreadStateAt(log, 0, 1<<40); err == nil {
 		t.Error("out-of-range idx accepted")
 	}
 }
@@ -108,7 +109,7 @@ func TestKeyFrameLogsSerializeAndValidate(t *testing.T) {
 			t.Fatalf("thread %d: frames lost in serialization", tl.TID)
 		}
 	}
-	if _, err := Run(log2, Options{}); err != nil {
+	if _, err := replay.Run(log2, replay.Options{}); err != nil {
 		t.Fatal(err)
 	}
 }

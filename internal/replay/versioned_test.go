@@ -1,6 +1,7 @@
-package replay
+package replay_test
 
 import (
+	"repro/internal/replay"
 	"testing"
 
 	"repro/internal/machine"
@@ -21,11 +22,11 @@ main:
   halt
 `
 	log, _ := recordSrc(t, src, machine.Config{Seed: 1})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm := BuildVersionedMemory(exec)
+	vm := replay.BuildVersionedMemory(exec)
 	var gAddr uint64
 	for a := range log.Prog.Data {
 		gAddr = a
@@ -56,11 +57,11 @@ main:
 
 func TestVersionedMemoryAgreesWithFinalImage(t *testing.T) {
 	log, _ := recordSrc(t, racyCounterSrc, machine.Config{Seed: 5})
-	exec, err := Run(log, Options{})
+	exec, err := replay.Run(log, replay.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm := BuildVersionedMemory(exec)
+	vm := replay.BuildVersionedMemory(exec)
 	for addr, want := range exec.FinalMem {
 		if v, ok := vm.Before(addr, len(exec.Regions)+1); !ok || v != want {
 			t.Errorf("addr 0x%x: versioned %d,%v vs image %d", addr, v, ok, want)

@@ -164,6 +164,27 @@ type Log struct {
 	FinalClock uint64
 	Deadlocked bool
 	TotalSteps uint64
+
+	// Online is the verdict of the online race detector that watched the
+	// recording, when one was attached. It is an in-memory annotation
+	// only: Marshal never serializes it, so logs decoded from disk always
+	// carry nil and take the full offline pass. The offline detector
+	// remains the source of truth; consumers may use a race-free online
+	// verdict to skip work, never to report races.
+	Online *OnlineInfo
+}
+
+// OnlineInfo summarizes what the online detector saw during recording.
+type OnlineInfo struct {
+	RaceFree bool // no overlapping conflicting access pair was observed
+	Races    int  // distinct racy site pairs observed (0 when RaceFree)
+	Stopped  bool // recording ended early under a stop-on-race policy
+
+	// ObservedPCs lists, in ascending order, every code index that
+	// performed a data memory access (atomic or not) during the run. The
+	// race-free fast path uses it to reconstruct the observed-site set
+	// that static cross-validation would otherwise read from the replay.
+	ObservedPCs []int
 }
 
 // Thread returns the log for tid, or nil.

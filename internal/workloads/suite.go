@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/record"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -71,6 +72,17 @@ type SuiteOptions struct {
 	// evidence (live-in fingerprints, both orders' outcomes, canonical
 	// cache attribution).
 	Audit bool
+	// Online attaches the incremental race detector to every recording.
+	// A race-free online verdict lets the offline half skip that log's
+	// replay+detect+classify pass entirely; any raced (or stopped)
+	// recording takes the full offline pass, which remains the source of
+	// truth. The suite report is byte-identical with Online on and off.
+	Online bool
+	// StopOnRace (with Online) ends each recording at the first
+	// confirmed race. The truncated log still replays and classifies —
+	// this trades instance coverage for recording time, so it is a
+	// monitoring knob, not a default.
+	StopOnRace bool
 }
 
 // RunSuite records, replays, detects, and classifies every scenario, then
@@ -149,7 +161,17 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 						return fmt.Errorf("native baseline: %w", err)
 					}
 				}
-				log, mres, err := core.RecordInstrumented(prog, s.Config(), reg)
+				var (
+					log  *trace.Log
+					mres *machine.Result
+					err  error
+				)
+				if opts.Online {
+					oc := record.OnlineConfig{Detect: true, StopOnFirstRace: opts.StopOnRace}
+					log, mres, _, err = core.RecordOnlineInstrumented(prog, s.Config(), oc, reg)
+				} else {
+					log, mres, err = core.RecordInstrumented(prog, s.Config(), reg)
+				}
 				if err != nil {
 					return fmt.Errorf("record: %w", err)
 				}

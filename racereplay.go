@@ -117,6 +117,18 @@ type (
 	// AuditExecution is one execution's provenance record within an
 	// AuditFile; Options.Audit points classification at one to fill.
 	AuditExecution = audit.Execution
+	// OnlineConfig controls the online race detector attached to a
+	// recording: detection on/off, stop-on-first-race, and key-frame
+	// down-sampling once a race is confirmed.
+	OnlineConfig = record.OnlineConfig
+	// OnlineReport is the online detector's verdict for one recording:
+	// race-free or the distinct racy site pairs seen, plus screening
+	// statistics.
+	OnlineReport = hb.OnlineReport
+	// OnlineInfo is the in-memory online-verdict annotation a recording
+	// carries on its Log; it is never serialized, so logs decoded from
+	// disk always take the full offline pass.
+	OnlineInfo = trace.OnlineInfo
 )
 
 // Timeline event kinds.
@@ -170,6 +182,32 @@ func RecordInstrumented(prog *Program, cfg Config, reg *Metrics) (*Log, error) {
 func RecordWithKeyFrames(prog *Program, cfg Config, interval uint64) (*Log, error) {
 	log, _, err := record.RunWithKeyFrames(prog, cfg, interval)
 	return log, err
+}
+
+// RecordOnline records with the incremental race detector watching the
+// run: the returned log carries the raced/race-free verdict as its
+// in-memory Online annotation (consumed by AnalyzeLog's race-free fast
+// path) and the report details what the detector saw.
+func RecordOnline(prog *Program, cfg Config, oc OnlineConfig) (*Log, *OnlineReport, error) {
+	log, _, rep, err := core.RecordOnline(prog, cfg, oc)
+	return log, rep, err
+}
+
+// RecordOnlineInstrumented is RecordOnline with stage metrics, including
+// the detect.online.* family, published into reg (nil reg behaves
+// exactly like RecordOnline).
+func RecordOnlineInstrumented(prog *Program, cfg Config, oc OnlineConfig, reg *Metrics) (*Log, *OnlineReport, error) {
+	log, _, rep, err := core.RecordOnlineInstrumented(prog, cfg, oc, reg)
+	return log, rep, err
+}
+
+// AnalyzeOnlineInstrumented is AnalyzeInstrumented with online detection
+// during the recording: when the online verdict is race-free the offline
+// replay+detect+classify pass is skipped entirely, and any raced or
+// stopped recording falls through to the full offline pass (the source
+// of truth).
+func AnalyzeOnlineInstrumented(prog *Program, cfg Config, oc OnlineConfig, opts Options, reg *Metrics) (*Result, error) {
+	return core.AnalyzeOnlineInstrumented(prog, cfg, oc, opts, reg)
 }
 
 // ThreadStateAt answers a per-thread state query (registers + memory
