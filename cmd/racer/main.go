@@ -95,6 +95,8 @@ func main() {
 		err = cmdChaos(args)
 	case "profile":
 		err = cmdProfile(args)
+	case "serve":
+		err = cmdServe(args)
 	case "mark-benign":
 		err = cmdMarkBenign(args)
 	case "debug":
@@ -151,10 +153,15 @@ commands (flags come before the file argument):
   validate <LOG...>                     decode + check logs without analyzing
   audit <FILE.json>                     render a verdict-provenance trail
                                         written by suite/analyze-dir -audit-out
-  chaos [-corruptions N] [-seed S] [-log FILE]
+  chaos [-corruptions N] [-seed S] [-log FILE] [-serve URL]
                                         fuzz the decoder with N corrupted log
                                         variants; fails on any panic or
-                                        unbounded allocation
+                                        unbounded allocation. With -serve,
+                                        fire the sweep (plus truncated and
+                                        slow-loris uploads) at a running
+                                        'racer serve' endpoint instead and
+                                        fail on any 5xx, handler panic, or
+                                        dead service
 
 -jobs bounds the analysis worker pool (0 = GOMAXPROCS); results are
 byte-identical at every worker count.
@@ -165,6 +172,12 @@ any hard error. Corrupt logs in a batch are quarantined — listed in the
 report's quarantine section — and the analysis completes over the rest.
   profile [-addr A] [-iterations N]     run the suite under a live metrics +
                                         pprof HTTP server
+  serve [-addr A] [-data DIR] [-jobs N] [-queue N] [-deadline D]
+                                        long-running analysis daemon: upload
+                                        .rlog files over HTTP, get verdict
+                                        reports back; crash-safe journal +
+                                        persistent replay memo in -data
+                                        (see docs/SERVICE.md)
   mark-benign -db FILE -race "A <-> B"  record a developer benign verdict
 
 most commands also take -metrics[=text|json|prom] and -metrics-out FILE to
@@ -985,6 +998,7 @@ func cmdChaos(args []string) error {
 	seed := fs.Int64("seed", 1, "corruption seed; equal seeds corrupt identically")
 	name := fs.String("scenario", "exec01", "scenario recorded as the corruption target")
 	logPath := fs.String("log", "", "corrupt an existing .rlog file instead of recording a scenario")
+	serveURL := fs.String("serve", "", "fire the corruption sweep at a running 'racer serve' endpoint (e.g. http://127.0.0.1:8844) instead of the local decoder")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	var container []byte
@@ -1016,6 +1030,17 @@ func cmdChaos(args []string) error {
 	reg, err := metrics.registry()
 	if err != nil {
 		return err
+	}
+	if *serveURL != "" {
+		rep := chaos.RunHTTP(*serveURL, container, *n, *seed, reg)
+		fmt.Fprint(stdout, rep.Summary())
+		if err := metrics.emit(reg); err != nil {
+			return err
+		}
+		if v := rep.Violations(); v > 0 {
+			return fmt.Errorf("chaos: service contract violated %d times", v)
+		}
+		return nil
 	}
 	rep := chaos.Run(container, *n, *seed, reg)
 	fmt.Fprint(stdout, rep.Summary())

@@ -7,8 +7,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -47,10 +45,7 @@ func cmdProfile(args []string) error {
 		"also write the final timeline as Chrome trace JSON to this file on exit")
 	fs.Parse(args)
 
-	// A first signal flips ctx and the run winds down cleanly; a second
-	// signal restores default handling (i.e. kills the process), so a
-	// wedged run can still be stopped.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop := notifyShutdown()
 	defer stop()
 
 	reg := racereplay.NewMetrics()

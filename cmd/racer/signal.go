@@ -1,0 +1,17 @@
+package main
+
+import (
+	"context"
+	"os/signal"
+	"syscall"
+)
+
+// notifyShutdown returns a context that ends on SIGINT or SIGTERM — the
+// shared graceful-shutdown trigger for racer's long-running commands
+// (profile, serve). A first signal cancels the context and the command
+// winds down cleanly; a second signal restores default handling (i.e.
+// kills the process), so a wedged shutdown can still be stopped. Callers
+// must defer stop to release the signal handler.
+func notifyShutdown() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}

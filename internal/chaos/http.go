@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTPTrial is the outcome of one hostile request against a running
+// analysis service.
+type HTTPTrial struct {
+	Index  int
+	Attack string // corruption kind, "truncated", "slow-loris", or "clean"
+	Status int    // HTTP status, 0 when the request died in transport
+	Err    string // transport error, if any
+}
+
+// HTTPReport aggregates a chaos sweep against the service contract: a
+// hostile upload may be quarantined (400), rejected (413/429/503), or —
+// when the corruption happened to leave the log valid — accepted (202),
+// but the daemon must never answer 5xx, never panic in a handler, and
+// must still be serving when the sweep ends.
+type HTTPReport struct {
+	Seed       int64
+	Trials     []HTTPTrial
+	FiveXX     int    // responses with status >= 500
+	Transport  int    // requests that died in transport (informational)
+	Rejected   int    // 4xx responses
+	Accepted   int    // 2xx responses
+	HTTPPanics uint64 // serve.http_panics scraped from /metrics.json
+	Alive      bool   // /healthz answered 200 after the sweep
+	ScrapeErr  string // failure reading healthz/metrics, if any
+}
+
+// Violations counts contract breaches: 5xx responses, handler panics,
+// and a dead or unreadable service after the sweep.
+func (r *HTTPReport) Violations() int {
+	v := r.FiveXX + int(r.HTTPPanics)
+	if !r.Alive {
+		v++
+	}
+	return v
+}
+
+// Summary renders the human-readable contract report.
+func (r *HTTPReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos http: %d hostile requests (seed %d): %d rejected 4xx, %d accepted 2xx, %d transport errors\n",
+		len(r.Trials), r.Seed, r.Rejected, r.Accepted, r.Transport)
+	byAttack := map[string][2]int{}
+	var order []string
+	for _, t := range r.Trials {
+		c, ok := byAttack[t.Attack]
+		if !ok {
+			order = append(order, t.Attack)
+		}
+		c[0]++
+		if t.Status >= 400 && t.Status < 500 {
+			c[1]++
+		}
+		byAttack[t.Attack] = c
+	}
+	for _, a := range order {
+		c := byAttack[a]
+		fmt.Fprintf(&b, "  %-16s %4d trials, %4d rejected\n", a, c[0], c[1])
+	}
+	alive := "alive"
+	if !r.Alive {
+		alive = "DEAD"
+	}
+	if r.ScrapeErr != "" {
+		alive += " (" + r.ScrapeErr + ")"
+	}
+	fmt.Fprintf(&b, "contract: %d responses >= 500, %d handler panics, service %s\n",
+		r.FiveXX, r.HTTPPanics, alive)
+	return b.String()
+}
+
+// brokenBody is a request body that fails mid-stream — the client-side
+// shape of a truncated upload. The transport aborts the request, so the
+// server sees an unexpected EOF while reading the body.
+type brokenBody struct {
+	data []byte
+	off  int
+}
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data)/2 {
+		return 0, errors.New("chaos: simulated client disconnect")
+	}
+	n := copy(p, b.data[b.off:len(b.data)/2])
+	b.off += n
+	return n, nil
+}
+
+// slowBody dribbles the payload a few bytes at a time — a bounded
+// slow-loris. A server-side read timeout that cuts it off is a pass;
+// only a dead server afterwards is a violation.
+type slowBody struct {
+	data  []byte
+	off   int
+	delay time.Duration
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	time.Sleep(b.delay)
+	end := b.off + 64
+	if end > len(b.data) {
+		end = len(b.data)
+	}
+	n := copy(p, b.data[b.off:end])
+	b.off += n
+	return n, nil
+}
+
+// RunHTTP fires a hostile upload sweep at a running analysis service
+// (see `racer serve`): n corrupted log containers cycling the full
+// corruption taxonomy, plus truncated uploads that disconnect
+// mid-stream and bounded slow-loris uploads. It then checks the service
+// contract from the outside: /healthz still answers and the
+// serve.http_panics counter on /metrics.json is zero. baseURL is the
+// service root, e.g. "http://127.0.0.1:8844". The optional registry
+// receives chaos.http.* counters (nil is off, as everywhere).
+func RunHTTP(baseURL string, container []byte, n int, seed int64, reg *obs.Registry) *HTTPReport {
+	baseURL = strings.TrimRight(baseURL, "/")
+	in := NewInjector(seed)
+	rep := &HTTPReport{Seed: seed}
+	client := &http.Client{Timeout: 30 * time.Second}
+	upload := func(attack string, index int, body io.Reader) {
+		t := HTTPTrial{Index: index, Attack: attack}
+		url := fmt.Sprintf("%s/v1/upload?tenant=chaos&label=chaos-%d.rlog", baseURL, index)
+		resp, err := client.Post(url, "application/octet-stream", body)
+		if err != nil {
+			t.Err = err.Error()
+			rep.Transport++
+			reg.Counter("chaos.http.transport_errors").Inc()
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t.Status = resp.StatusCode
+			switch {
+			case resp.StatusCode >= 500:
+				rep.FiveXX++
+				reg.Counter("chaos.http.5xx").Inc()
+				reg.EmitLabeled("chaos.violation", "http-5xx", uint64(index))
+				reg.Logger().Error("chaos contract violation",
+					"violation", "http-5xx", "trial", index, "attack", attack, "status", resp.StatusCode)
+			case resp.StatusCode >= 400:
+				rep.Rejected++
+			default:
+				rep.Accepted++
+			}
+		}
+		rep.Trials = append(rep.Trials, t)
+		reg.Counter("chaos.http.trials").Inc()
+	}
+
+	idx := 0
+	for i := 0; i < n; i++ {
+		data, kind := in.CorruptFile(container, i)
+		upload(kind.String(), idx, strings.NewReader(string(data)))
+		idx++
+	}
+	// Truncated uploads: the client vanishes mid-body.
+	for i := 0; i < 4; i++ {
+		upload("truncated", idx, &brokenBody{data: container})
+		idx++
+	}
+	// Slow-loris: a trickled (corrupt) body, bounded to stay fast.
+	loris := container
+	if len(loris) > 1024 {
+		loris = loris[:1024] // also truncates it, so a patient server still rejects it
+	}
+	for i := 0; i < 2; i++ {
+		upload("slow-loris", idx, &slowBody{data: loris, delay: 20 * time.Millisecond})
+		idx++
+	}
+
+	rep.Alive, rep.HTTPPanics, rep.ScrapeErr = scrapeService(client, baseURL)
+	if !rep.Alive {
+		reg.Counter("chaos.http.dead_service").Inc()
+		reg.Logger().Error("chaos contract violation", "violation", "dead-service", "err", rep.ScrapeErr)
+	}
+	if rep.HTTPPanics > 0 {
+		reg.Logger().Error("chaos contract violation", "violation", "handler-panics", "count", rep.HTTPPanics)
+	}
+	return rep
+}
+
+// scrapeService checks the daemon from the outside: liveness via
+// /healthz and the handler-panic count via /metrics.json.
+func scrapeService(client *http.Client, baseURL string) (alive bool, panics uint64, scrapeErr string) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return false, 0, err.Error()
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, 0, fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+	mresp, err := client.Get(baseURL + "/metrics.json")
+	if err != nil {
+		return true, 0, err.Error()
+	}
+	defer mresp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		return true, 0, "metrics.json: " + err.Error()
+	}
+	return true, snap.Counters["serve.http_panics"], ""
+}

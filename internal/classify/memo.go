@@ -26,12 +26,30 @@ import (
 // invariant). Concurrent misses on the same fingerprint may both
 // compute; both compute the same result and the first writer wins.
 //
+// A Memo can additionally be backed by a second-level persistent cache
+// (NewMemoBacked): lookups that miss in memory fall through to the
+// backing, and stored results are written through, so replay verdicts
+// survive process restarts. memostore.Store is the shipped backing.
+//
 // The zero value is not usable; use NewMemo.
 type Memo struct {
-	m      *sched.ShardedMap[vproc.Fingerprint, vproc.Result]
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	bytes  atomic.Uint64
+	m       *sched.ShardedMap[vproc.Fingerprint, vproc.Result]
+	backing Backing
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Backing is a second-level result cache behind the in-memory Memo —
+// typically persistent (memostore.Store implements it). Implementations
+// must be safe for concurrent use and must honor the memo invariant:
+// a Get hit for a fingerprint returns a result equal to what was Put
+// under it (equal fingerprints imply equal results, so any faithful
+// store qualifies). A backing that loses or rejects entries is fine —
+// that is a miss, and the replay recomputes.
+type Backing interface {
+	Get(vproc.Fingerprint) (vproc.Result, bool)
+	Put(vproc.Fingerprint, vproc.Result)
 }
 
 // memoShards is sized for a worker pool, not for the key space: enough
@@ -58,24 +76,56 @@ func NewMemo() *Memo {
 	}
 }
 
+// NewMemoBacked returns an empty in-memory cache layered over b:
+// misses fall through to b.Get (a backing hit is promoted into memory
+// and counted as a memo hit), and newly stored results are written
+// through with b.Put. A nil b is exactly NewMemo.
+func NewMemoBacked(b Backing) *Memo {
+	m := NewMemo()
+	m.backing = b
+	return m
+}
+
 // Lookup returns the cached result for fp, counting the hit or miss.
+// With a backing attached, an in-memory miss consults it before being
+// declared a miss.
 func (m *Memo) Lookup(fp vproc.Fingerprint) (vproc.Result, bool) {
 	res, ok := m.m.Load(fp)
 	if ok {
 		m.hits.Add(1)
-	} else {
-		m.misses.Add(1)
+		return res, true
 	}
-	return res, ok
+	if m.backing != nil {
+		if res, ok := m.backing.Get(fp); ok {
+			// Promote without writing back: the backing already holds
+			// the entry, so only the in-memory layer needs it.
+			m.storeLocal(fp, res)
+			m.hits.Add(1)
+			return res, true
+		}
+	}
+	m.misses.Add(1)
+	return res, false
 }
 
 // Store caches res under fp. First writer wins; later writers of the
 // same fingerprint (concurrent misses) are dropped, which is sound
-// because equal fingerprints imply equal results.
+// because equal fingerprints imply equal results. With a backing
+// attached, a first write is also written through to it.
 func (m *Memo) Store(fp vproc.Fingerprint, res vproc.Result) {
+	if m.storeLocal(fp, res) && m.backing != nil {
+		m.backing.Put(fp, res)
+	}
+}
+
+// storeLocal inserts into the in-memory layer only, reporting whether
+// this call was the first writer.
+func (m *Memo) storeLocal(fp vproc.Fingerprint, res vproc.Result) bool {
 	if m.m.Store(fp, res) {
 		m.bytes.Add(uint64(memoEntryBytes + len(res.FailReason) + memoDiffBytes*len(res.Diffs)))
+		return true
 	}
+	return false
 }
 
 // Hits returns the lifetime hit count.

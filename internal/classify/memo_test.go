@@ -1,0 +1,98 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/vproc"
+)
+
+// fakeBacking is an in-memory Backing that records its traffic.
+type fakeBacking struct {
+	m    map[vproc.Fingerprint]vproc.Result
+	gets int
+	puts int
+}
+
+func newFakeBacking() *fakeBacking {
+	return &fakeBacking{m: map[vproc.Fingerprint]vproc.Result{}}
+}
+
+func (b *fakeBacking) Get(fp vproc.Fingerprint) (vproc.Result, bool) {
+	b.gets++
+	res, ok := b.m[fp]
+	return res, ok
+}
+
+func (b *fakeBacking) Put(fp vproc.Fingerprint, res vproc.Result) {
+	b.puts++
+	b.m[fp] = res
+}
+
+func fpByte(n byte) vproc.Fingerprint {
+	var fp vproc.Fingerprint
+	fp[0] = n
+	return fp
+}
+
+func TestMemoBackedWriteThrough(t *testing.T) {
+	back := newFakeBacking()
+	m := NewMemoBacked(back)
+	res := vproc.Result{Outcome: vproc.NoStateChange}
+	m.Store(fpByte(1), res)
+	if back.puts != 1 {
+		t.Fatalf("backing puts = %d, want 1 (write-through)", back.puts)
+	}
+	// A duplicate store is dropped at both levels.
+	m.Store(fpByte(1), res)
+	if back.puts != 1 {
+		t.Fatalf("backing puts = %d after duplicate store, want 1", back.puts)
+	}
+	// In-memory hit does not consult the backing.
+	if _, ok := m.Lookup(fpByte(1)); !ok {
+		t.Fatal("expected in-memory hit")
+	}
+	if back.gets != 0 {
+		t.Fatalf("backing gets = %d on in-memory hit, want 0", back.gets)
+	}
+}
+
+func TestMemoBackedFallthroughAndPromotion(t *testing.T) {
+	back := newFakeBacking()
+	want := vproc.Result{Outcome: vproc.ReplayFailure, FailReason: "original order: x", OrigFail: "x"}
+	back.m[fpByte(2)] = want
+	m := NewMemoBacked(back)
+	got, ok := m.Lookup(fpByte(2))
+	if !ok || got.Outcome != want.Outcome || got.FailReason != want.FailReason || got.OrigFail != want.OrigFail {
+		t.Fatalf("Lookup = %+v, %v; want backing entry", got, ok)
+	}
+	if m.Hits() != 1 || m.Misses() != 0 {
+		t.Fatalf("hits=%d misses=%d; a backing hit must count as a memo hit", m.Hits(), m.Misses())
+	}
+	// Promotion: the second lookup is served from memory.
+	m.Lookup(fpByte(2))
+	if back.gets != 1 {
+		t.Fatalf("backing gets = %d, want 1 (promoted after first hit)", back.gets)
+	}
+	// Promotion must not write back.
+	if back.puts != 0 {
+		t.Fatalf("backing puts = %d, want 0 (promotion is read-only)", back.puts)
+	}
+	// A true miss at both levels is a memo miss.
+	if _, ok := m.Lookup(fpByte(3)); ok {
+		t.Fatal("unexpected hit")
+	}
+	if m.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", m.Misses())
+	}
+}
+
+func TestMemoNilBackingIsPlainMemo(t *testing.T) {
+	m := NewMemoBacked(nil)
+	if _, ok := m.Lookup(fpByte(4)); ok {
+		t.Fatal("unexpected hit")
+	}
+	m.Store(fpByte(4), vproc.Result{Outcome: vproc.NoStateChange})
+	if _, ok := m.Lookup(fpByte(4)); !ok {
+		t.Fatal("expected hit")
+	}
+}

@@ -52,6 +52,27 @@ func LogDigest(log *trace.Log) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// DecodeLog decodes and validates one serialized log container — the
+// exact decode path analyze-dir applies to a .rlog file (decompress,
+// unmarshal, structural validation), factored out for callers that
+// ingest containers from other transports: the `racer serve` upload
+// handler and the chaos HTTP sweep. Failures are the trace package's
+// typed errors, so rejections stay within the robustness contract.
+func DecodeLog(data []byte) (*trace.Log, error) {
+	raw, err := trace.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	log, err := trace.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(log); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
 // Record runs prog under cfg and returns its replay log (the online half
 // of the pipeline; everything else is offline analysis over the log).
 func Record(prog *isa.Program, cfg machine.Config) (*trace.Log, *machine.Result, error) {
