@@ -17,8 +17,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/paperbench -bench-out BENCH_7.json -bench-rounds 5
-	$(GO) run ./cmd/paperbench -check-bench BENCH_7.json
+	$(GO) run ./cmd/paperbench -bench-out BENCH_9.json -bench-rounds 5
+	$(GO) run ./cmd/paperbench -check-bench BENCH_9.json
 
 # Regenerate the flight-recorder artifacts: a parallel suite run with the
 # timeline on (load racer-trace.json at https://ui.perfetto.dev) and the

@@ -171,6 +171,21 @@ func runBenchOut(path string, benchTime time.Duration, rounds int, out io.Writer
 		})}
 	}
 
+	// The prediction stage rides the same suite; the gap to the plain
+	// suite rungs above is the windowed solver plus the second classify
+	// pass over predicted-new pairs.
+	fmt.Fprintln(out, "bench: predict-suite (seeds=2, prediction stage, jobs 1/8)")
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		r.Run(file, fmt.Sprintf("predict-suite/jobs=%d", jobs), func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{Seeds: 2, Jobs: jobs, Predict: true}); err != nil {
+					fatal(err)
+				}
+			}
+		})
+	}
+
 	if err := file.WriteFile(path); err != nil {
 		return err
 	}

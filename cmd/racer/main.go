@@ -8,6 +8,7 @@
 //	racer classify <L>               classify races by dual-order replay
 //	racer scenario -name exec01      analyze a built-in workload scenario
 //	racer suite                      analyze all 18 scenarios and summarize
+//	racer predict <prog.rasm>        predict feasible races beyond the recording
 //	racer mark-benign -db F -race R  record a developer triage verdict
 //	racer disasm <prog.rasm>         disassemble a program
 //	racer scenarios                  list the built-in workload scenarios
@@ -81,6 +82,8 @@ func main() {
 		err = cmdScenario(args)
 	case "suite":
 		err = cmdSuite(args)
+	case "predict":
+		err = cmdPredict(args)
 	case "lint":
 		err = cmdLint(args)
 	case "record-suite":
@@ -135,21 +138,38 @@ commands (flags come before the file argument):
                                             classify races by dual-order replay
   scenario -name NAME [-db FILE] [-online]
                                         analyze one built-in workload scenario
-  suite [-db FILE] [-seeds N] [-jobs N] [-static] [-online [-stop-on-race]]
+  suite [-db FILE] [-seeds N] [-jobs N] [-static] [-predict] [-online [-stop-on-race]]
                                         analyze all 18 built-in scenarios;
                                         -static adds the ahead-of-execution
-                                        cross-validation section; -online
-                                        detects races during recording and
-                                        skips the offline pass for race-free
-                                        runs (the report is byte-identical)
+                                        cross-validation section; -predict
+                                        adds the prediction stage (feasible
+                                        reorderings classified by replay);
+                                        -online detects races during recording
+                                        and skips the offline pass for
+                                        race-free runs (the report is
+                                        byte-identical)
+  predict [-seed N] [-window W] [-db FILE] <prog.rasm|LOG> | predict -scenario NAME
+                                        predict feasible races beyond the
+                                        recorded interleaving (lockset +
+                                        weak-HB + windowed ordering solver)
+                                        and classify them by dual-order
+                                        replay; predicted harmful races
+                                        exit 1
   lint <prog.rasm...> | lint -scenario NAME
                                         static race analysis (no execution):
                                         CFG + constant propagation + must-hold
-                                        locksets; any candidate exits 1
-  record-suite -dir DIR [-seeds N] [-jobs N]
-                                        record every scenario's log to DIR
-  analyze-dir -dir DIR [-db FILE] [-jobs N] [-static]
-                                        offline analysis over recorded logs
+                                        locksets; any candidate exits 1, any
+                                        invalid program exits 2
+  record-suite -dir DIR [-seeds N] [-jobs N] [-online]
+                                        record every scenario's log to DIR;
+                                        -online writes manifest.json with
+                                        each log's online race verdict so
+                                        analyze-dir can fast-path race-free
+                                        logs in a later process
+  analyze-dir -dir DIR [-db FILE] [-jobs N] [-static] [-predict]
+                                        offline analysis over recorded logs;
+                                        honors DIR/manifest.json verdicts
+                                        (matched by name + content hash)
   validate <LOG...>                     decode + check logs without analyzing
   audit <FILE.json>                     render a verdict-provenance trail
                                         written by suite/analyze-dir -audit-out
@@ -505,6 +525,7 @@ func cmdSuite(args []string) error {
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
+	predictStage := fs.Bool("predict", false, "add the prediction stage: feasible reorderings of each recorded schedule, classified by replay")
 	benchOut := fs.String("bench-out", "", "also write a machine-readable timing sample of this run as bench JSON (stdout is unchanged)")
 	auditOut := fs.String("audit-out", "", "write the verdict-provenance trail (racereplay-audit/v1 JSON) to this file")
 	online := fs.Bool("online", false, "detect races during recording; race-free runs skip the offline pass (report is byte-identical either way)")
@@ -535,6 +556,7 @@ func cmdSuite(args []string) error {
 	run, err := racereplay.RunSuiteOpts(racereplay.SuiteOptions{
 		DB: db, Seeds: *seeds, Jobs: *jobs, Registry: reg, Static: *staticStage,
 		Audit: *auditOut != "", Online: *online, StopOnRace: *stopOnRace,
+		Predict: *predictStage,
 	})
 	if err != nil {
 		return err
@@ -553,6 +575,10 @@ func cmdSuite(args []string) error {
 	fmt.Fprint(stdout, report.Summary(run.Merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(run.Merged, report.SuiteTruth).Render())
+	if *predictStage {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.BuildPredictedSection(run).Render())
+	}
 	if *staticStage {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.BuildStaticSection(run).Render())
@@ -566,6 +592,11 @@ func cmdSuite(args []string) error {
 	printQuarantine(run.Quarantined)
 	if _, harmful := run.Merged.CountByVerdict(); harmful > 0 {
 		raiseExit(1)
+	}
+	if run.Predict != nil && run.Predict.Merged != nil {
+		if _, harmful := run.Predict.Merged.CountByVerdict(); harmful > 0 {
+			raiseExit(1)
+		}
 	}
 	sp.End()
 	return metrics.emit(reg)
@@ -597,9 +628,97 @@ func writeSuiteBench(path string, seeds, jobs int, elapsed time.Duration, before
 	return file.WriteFile(path)
 }
 
+// cmdPredict runs the prediction stage over one execution: record (or
+// load) it, propose feasible reorderings of the schedule that would
+// race (lockset + weak-HB prefilter, access blocks, windowed ordering
+// solver), and classify every predicted-new pair by the same dual-order
+// replay as observed races. The argument is a program file or a
+// recorded .rlog; -scenario substitutes a built-in workload. Exit
+// status: 1 when any race — observed or predicted — classifies
+// potentially harmful.
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	name := fs.String("scenario", "", "predict over a built-in workload scenario instead of a file")
+	seed := fs.Int64("seed", 1, "scheduler seed (programs; scenarios keep their own unless set)")
+	window := fs.Int("window", 0, "solver window in regions (0 = default)")
+	dbPath := fs.String("db", "", "race database for suppression")
+	metrics := addMetricsFlags(fs)
+	fs.Parse(args)
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	reg, err := metrics.registry()
+	if err != nil {
+		return err
+	}
+	opts := racereplay.Options{DB: db, Predict: true, PredictWindow: *window}
+	var res *racereplay.Result
+	switch {
+	case *name != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("predict wants a file or -scenario NAME, not both")
+		}
+		s, err := workloads.FindScenario(*name)
+		if err != nil {
+			return err
+		}
+		prog, err := s.Program()
+		if err != nil {
+			return err
+		}
+		opts.Scenario, opts.Seed = s.Name, s.Seed
+		res, err = racereplay.AnalyzeInstrumented(prog, s.Config(), opts, reg)
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".rlog"):
+		log, err := loadLog(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		opts.Scenario, opts.Seed = filepath.Base(fs.Arg(0)), log.Seed
+		res, err = racereplay.AnalyzeLogInstrumented(log, opts, reg)
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 1:
+		prog, err := loadProgram(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		opts.Scenario, opts.Seed = prog.Name, *seed
+		res, err = racereplay.AnalyzeInstrumented(prog, racereplay.Config{Seed: *seed}, opts, reg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("predict wants one program or log file, or -scenario NAME")
+	}
+	benign, harmful := res.Classification.CountByVerdict()
+	fmt.Fprintf(stdout, "observed: %d races (%d potentially benign, %d potentially harmful)\n",
+		len(res.Classification.Races), benign, harmful)
+	fmt.Fprint(stdout, racereplay.PredictedReport(res.Predicted))
+	if harmful > 0 {
+		raiseExit(1)
+	}
+	if res.Predicted != nil && res.Predicted.Classification != nil {
+		if _, ph := res.Predicted.Classification.CountByVerdict(); ph > 0 {
+			raiseExit(1)
+		}
+	}
+	return metrics.emit(reg)
+}
+
 // cmdLint is the static half of the pipeline: analyze programs ahead of
 // any execution and report race candidates. Exit status follows the
-// detector contract — 1 when candidates are found, 0 when clean.
+// documented contract — 1 when candidates are found, 2 on invalid input,
+// 0 when clean. Invalid input covers both files that fail to load or
+// assemble and programs the machine itself would refuse to run (an
+// empty program lints vacuously clean but can never execute, so
+// reporting it as clean would be a lie). A bad file in a batch is
+// reported and the remaining files still lint — the exit code only
+// escalates, so findings elsewhere in the batch stay visible.
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	scenario := fs.String("scenario", "", "lint a built-in workload scenario instead of a file")
@@ -609,34 +728,49 @@ func cmdLint(args []string) error {
 	if err != nil {
 		return err
 	}
-	var progs []*racereplay.Program
+	type item struct {
+		label string
+		prog  *racereplay.Program
+		err   error
+	}
+	var items []item
 	if *scenario != "" {
+		it := item{label: "scenario " + *scenario}
 		s, err := workloads.FindScenario(*scenario)
-		if err != nil {
-			return err
+		if err == nil {
+			it.prog, it.err = s.Program()
+		} else {
+			it.err = err
 		}
-		prog, err := s.Program()
-		if err != nil {
-			return err
-		}
-		progs = append(progs, prog)
+		items = append(items, it)
 	}
 	for _, path := range fs.Args() {
 		prog, err := loadProgram(path)
-		if err != nil {
-			return err
-		}
-		progs = append(progs, prog)
+		items = append(items, item{label: path, prog: prog, err: err})
 	}
-	if len(progs) == 0 {
+	if len(items) == 0 {
 		return fmt.Errorf("lint wants program files or -scenario NAME")
 	}
 	candidates := 0
-	for i, prog := range progs {
+	for i, it := range items {
 		if i > 0 {
 			fmt.Fprintln(stdout)
 		}
-		rep := racereplay.AnalyzeStaticInstrumented(prog, reg)
+		if it.err == nil {
+			// Mirror machine.New's admission checks: a program the
+			// machine would reject is invalid input, not a clean lint.
+			if verr := it.prog.Validate(); verr != nil {
+				it.err = verr
+			} else if len(it.prog.Code) == 0 {
+				it.err = fmt.Errorf("empty program %s", it.prog.Name)
+			}
+		}
+		if it.err != nil {
+			fmt.Fprintf(stdout, "%s: invalid input: %v\n", it.label, it.err)
+			raiseExit(2)
+			continue
+		}
+		rep := racereplay.AnalyzeStaticInstrumented(it.prog, reg)
 		rep.Format(stdout)
 		candidates += len(rep.Candidates)
 	}
@@ -686,6 +820,7 @@ func cmdRecordSuite(args []string) error {
 	dir := fs.String("dir", "logs", "output directory")
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
 	jobs := fs.Int("jobs", 0, "recording workers (0 = GOMAXPROCS); output is identical at any count")
+	online := fs.Bool("online", false, "attach the online race detector and write manifest.json with each log's verdict")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -726,7 +861,12 @@ func cmdRecordSuite(args []string) error {
 		i := i
 		forks[i] = reg.Fork()
 		pool.Submit(func() {
-			logs[i], errs[i] = racereplay.RecordInstrumented(work[i].prog, work[i].s.Config(), forks[i])
+			if *online {
+				logs[i], _, errs[i] = racereplay.RecordOnlineInstrumented(
+					work[i].prog, work[i].s.Config(), racereplay.OnlineConfig{Detect: true}, forks[i])
+			} else {
+				logs[i], errs[i] = racereplay.RecordInstrumented(work[i].prog, work[i].s.Config(), forks[i])
+			}
 		})
 	}
 	pool.Wait()
@@ -739,8 +879,11 @@ func cmdRecordSuite(args []string) error {
 
 	var totalInstr uint64
 	var totalBytes int
+	man := racereplay.NewManifest()
+	raceFree := 0
 	for i, log := range logs {
-		path := filepath.Join(*dir, fmt.Sprintf("%s-%d.rlog", work[i].s.Name, work[i].k))
+		name := fmt.Sprintf("%s-%d.rlog", work[i].s.Name, work[i].k)
+		path := filepath.Join(*dir, name)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -753,9 +896,25 @@ func cmdRecordSuite(args []string) error {
 		st := racereplay.LogStats(log)
 		totalInstr += st.Instructions
 		totalBytes += st.CompressedBytes
+		if *online {
+			man.Add(name, racereplay.LogDigest(log), log.Online)
+			if log.Online != nil && log.Online.RaceFree {
+				raceFree++
+			}
+		}
 	}
 	fmt.Fprintf(stdout, "recorded %d executions: %d instructions, %d bytes of compressed logs -> %s\n",
 		len(logs), totalInstr, totalBytes, *dir)
+	if *online {
+		// The manifest carries each log's online verdict across process
+		// boundaries: a later analyze-dir run re-attaches it (by filename
+		// and content hash) and fast-paths the race-free logs.
+		if err := man.WriteFile(filepath.Join(*dir, "manifest.json")); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "online verdicts: %d of %d race-free -> %s\n",
+			raceFree, len(logs), filepath.Join(*dir, "manifest.json"))
+	}
 	return metrics.emit(reg)
 }
 
@@ -767,6 +926,7 @@ func cmdAnalyzeDir(args []string) error {
 	dbPath := fs.String("db", "", "race database for suppression")
 	jobs := fs.Int("jobs", 0, "analysis workers (0 = GOMAXPROCS); output is identical at any count")
 	staticStage := fs.Bool("static", false, "cross-validate static lint candidates against the dynamic results")
+	predictStage := fs.Bool("predict", false, "add the prediction stage: feasible reorderings of each recorded schedule, classified by replay")
 	auditOut := fs.String("audit-out", "", "write the verdict-provenance trail (racereplay-audit/v1 JSON) to this file")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
@@ -786,6 +946,18 @@ func cmdAnalyzeDir(args []string) error {
 		return fmt.Errorf("no .rlog files in %s", *dir)
 	}
 	sort.Strings(entries)
+	// A record-suite -online run leaves a manifest of online verdicts
+	// next to the logs. The manifest is advisory: entries re-attach the
+	// in-memory Online annotation (enabling the race-free fast path)
+	// only when both the filename and the content hash match, and a
+	// missing or corrupt manifest just means the full offline pass.
+	man, manErr := racereplay.ReadManifest(filepath.Join(*dir, "manifest.json"))
+	if manErr != nil {
+		if !os.IsNotExist(manErr) {
+			reg.Logger().Warn("manifest ignored", "err", manErr.Error())
+		}
+		man = nil
+	}
 	// Corrupt or unreadable logs quarantine instead of aborting the
 	// batch: the analysis completes over the healthy files and the
 	// report lists every excluded one with its typed error (exit 2).
@@ -822,9 +994,17 @@ func cmdAnalyzeDir(args []string) error {
 			continue
 		}
 		reg.EmitLabeled("decode", label, log.Instructions())
+		var digest string
+		if ae != nil || man != nil {
+			digest = racereplay.LogDigest(log)
+		}
 		if ae != nil {
 			ae.Seed = log.Seed
-			ae.LogSHA256 = racereplay.LogDigest(log)
+			ae.LogSHA256 = digest
+		}
+		if e := man.Lookup(label, digest); e != nil {
+			log.Online = e.Online()
+			reg.Counter("decode.manifest_verdicts").Inc()
 		}
 		logs = append(logs, log)
 		labels = append(labels, label)
@@ -832,7 +1012,7 @@ func cmdAnalyzeDir(args []string) error {
 	}
 	decodeSp.End()
 	results, analysisQuarantined := racereplay.AnalyzeLogsInstrumented(logs, func(i int) racereplay.Options {
-		o := racereplay.Options{Scenario: labels[i], Seed: logs[i].Seed, DB: db}
+		o := racereplay.Options{Scenario: labels[i], Seed: logs[i].Seed, DB: db, Predict: *predictStage}
 		if *auditOut != "" {
 			o.Audit = audits[slotOf[i]]
 		}
@@ -865,6 +1045,12 @@ func cmdAnalyzeDir(args []string) error {
 	fmt.Fprint(stdout, report.Summary(merged, report.SuiteTruth))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.BuildTable1(merged, report.SuiteTruth).Render())
+	var suitePredict *workloads.SuitePredict
+	if *predictStage {
+		suitePredict = workloads.BuildSuitePredict(labels, results)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.PredictedSection{Suite: suitePredict}.Render())
+	}
 	if *staticStage {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.StaticSection{Suite: staticOverDir(labels, results, reg)}.Render())
@@ -879,6 +1065,11 @@ func cmdAnalyzeDir(args []string) error {
 	}
 	if _, harmful := merged.CountByVerdict(); harmful > 0 {
 		raiseExit(1)
+	}
+	if suitePredict != nil && suitePredict.Merged != nil {
+		if _, harmful := suitePredict.Merged.CountByVerdict(); harmful > 0 {
+			raiseExit(1)
+		}
 	}
 	return metrics.emit(reg)
 }
@@ -921,6 +1112,13 @@ func staticOverDir(labels []string, results []*racereplay.Result, reg *racerepla
 		suite.Refuted += cross.Refuted
 		suite.Unmatched += cross.Unmatched
 		suite.Missed += len(cross.Missed)
+		if cross.HasPredicted {
+			suite.HasPredicted = true
+			suite.PredMatched += cross.PredMatched
+			suite.PredRefuted += cross.PredRefuted
+			suite.PredUnmatched += cross.PredUnmatched
+			suite.PredMissed += len(cross.PredMissed)
+		}
 	}
 	return suite
 }

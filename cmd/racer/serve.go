@@ -41,6 +41,7 @@ func cmdServe(args []string) error {
 	maxUpload := fs.Int64("max-upload", 64<<20, "largest accepted upload in bytes")
 	memoMax := fs.Int64("memo-max", 0, "persistent memo store size cap in bytes (0 = default, negative = unbounded)")
 	dbPath := fs.String("db", "", "race database for suppression")
+	predict := fs.Bool("predict", false, "add the prediction stage to every job: feasible reorderings classified by replay")
 	fs.Parse(args)
 	db, err := openDB(*dbPath)
 	if err != nil {
@@ -57,6 +58,7 @@ func cmdServe(args []string) error {
 		MaxUploadBytes: *maxUpload,
 		MemoMaxBytes:   *memoMax,
 		DB:             db,
+		Predict:        *predict,
 		Registry:       reg,
 	})
 	if err != nil {

@@ -55,12 +55,17 @@ type Execution struct {
 
 // Race is the provenance of one classified race in one execution.
 type Race struct {
-	SiteA      string     `json:"site_a"`
-	SiteB      string     `json:"site_b"`
-	Verdict    string     `json:"verdict"` // potentially-benign | potentially-harmful
-	Group      string     `json:"group"`   // no-state-change | state-change | replay-failure
-	Suppressed bool       `json:"suppressed,omitempty"`
-	Instances  []Instance `json:"instances,omitempty"`
+	SiteA      string `json:"site_a"`
+	SiteB      string `json:"site_b"`
+	Verdict    string `json:"verdict"` // potentially-benign | potentially-harmful
+	Group      string `json:"group"`   // no-state-change | state-change | replay-failure
+	Suppressed bool   `json:"suppressed,omitempty"`
+	// Predicted marks a race the prediction stage proposed (a feasible
+	// reordering of the recorded schedule) rather than one the observed
+	// interleaving exhibited. The field is additive and omitted when
+	// false, so v1 files written before prediction existed stay valid.
+	Predicted bool       `json:"predicted,omitempty"`
+	Instances []Instance `json:"instances,omitempty"`
 }
 
 // Instance is the provenance of one dual-order replay.

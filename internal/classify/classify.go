@@ -236,6 +236,18 @@ type Options struct {
 	// one per batch). Nil means Run builds a private per-Run cache,
 	// unless NoMemo is set.
 	Memo *Memo
+	// Predict enables the prediction stage after classification: a
+	// lockset + weak-HB + window-feasibility pass over the replayed
+	// execution proposes racing pairs the recorded interleaving never
+	// exhibited, and the ones at new site pairs are classified by a
+	// second dual-order pass sharing this Options (and its Memo). The
+	// classify package only carries the flag; core.AnalyzeLog acts on
+	// it — putting it here lets every existing per-log options closure
+	// (suite, analyze-dir, serve) thread it through unchanged.
+	Predict bool
+	// PredictWindow bounds the region-schedule distance the prediction
+	// solver searches (0 = the predict package default).
+	PredictWindow int
 	// Audit, when set, receives this execution's verdict provenance:
 	// Run appends one audit.Race per classified race, in report order,
 	// each instance carrying its live-in fingerprint and both replay

@@ -18,6 +18,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/sched"
@@ -38,6 +39,21 @@ type Result struct {
 	// static cross-validation still sees the run's site coverage. It is
 	// nil whenever Exec is populated.
 	ObservedSites []string
+
+	// Predicted is the prediction stage's output (nil unless
+	// Options.Predict was set): the feasibility report plus the
+	// dual-order classification of the predicted-new site pairs.
+	Predicted *Predicted
+}
+
+// Predicted bundles one execution's prediction stage: the candidate
+// report, the predicted-new races (site pairs the observed detector
+// never reported), and their dual-order classification — the paper's
+// benign/harmful verdict applied to races no single execution exhibited.
+type Predicted struct {
+	Report         *predict.Report
+	NewRaces       *hb.Report
+	Classification *classify.Classification
 }
 
 // LogStats measures the recorded log's footprint (§5.1 metrics).
@@ -117,7 +133,9 @@ func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Regi
 	// empty report. The annotation is in-memory only (never decoded from
 	// disk) and any raced or stopped run falls through to the full
 	// offline pass, which remains the source of truth.
-	if log.Online != nil && log.Online.RaceFree && !log.Online.Stopped {
+	// Prediction disables the fast path: a race-free *observed*
+	// interleaving is exactly where prediction has work to do.
+	if log.Online != nil && log.Online.RaceFree && !log.Online.Stopped && !opts.Predict {
 		return analyzeRaceFreeFast(log, opts, reg)
 	}
 	sp := reg.StartSpan("replay")
@@ -135,13 +153,47 @@ func AnalyzeLogInstrumented(log *trace.Log, opts classify.Options, reg *obs.Regi
 	sp = reg.StartSpan("classify")
 	cls := classify.Run(exec, races, opts)
 	sp.End()
-	return &Result{
+	res := &Result{
 		Prog:           log.Prog,
 		Log:            log,
 		Exec:           exec,
 		Races:          races,
 		Classification: cls,
-	}, nil
+	}
+	if opts.Predict {
+		res.Predicted = runPredict(exec, races, opts, reg)
+	}
+	return res, nil
+}
+
+// runPredict is the prediction stage: propose feasible reorderings over
+// the replayed execution, then classify the predicted-new site pairs by
+// the same dual-order replay (sharing the caller's memo, metrics, and
+// audit envelope). Audit races appended by the second classification
+// pass are stamped Predicted, so the provenance trail distinguishes
+// verdicts on observed instances from verdicts on proposed ones.
+func runPredict(exec *replay.Execution, races *hb.Report, opts classify.Options, reg *obs.Registry) *Predicted {
+	sp := reg.StartSpan("predict")
+	prep := predict.Run(exec, predict.Options{Window: opts.PredictWindow, Metrics: reg})
+	newRaces := prep.NewReport(races)
+	sp.End()
+	var auditBefore int
+	if opts.Audit != nil {
+		auditBefore = len(opts.Audit.Races)
+	}
+	sp = reg.StartSpan("classify-predicted")
+	pcls := classify.Run(exec, newRaces, opts)
+	sp.End()
+	if opts.Audit != nil {
+		for i := auditBefore; i < len(opts.Audit.Races); i++ {
+			opts.Audit.Races[i].Predicted = true
+		}
+	}
+	reg.Counter("predict.new_races").Add(uint64(len(newRaces.Races)))
+	reg.Logger().Debug("prediction classified",
+		"scenario", opts.Scenario, "seed", opts.Seed,
+		"candidates", len(prep.Candidates), "new_races", len(newRaces.Races))
+	return &Predicted{Report: prep, NewRaces: newRaces, Classification: pcls}
 }
 
 // analyzeRaceFreeFast produces the Result a full offline pass would

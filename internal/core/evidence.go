@@ -52,5 +52,42 @@ func CollectEvidence(results []*Result) static.DynamicEvidence {
 			}
 		}
 	}
+	collectPredicted(&ev, results)
 	return ev
+}
+
+// collectPredicted fills ev.Predicted — the prediction engine's race
+// set — from any result that ran the prediction stage. Prediction
+// subsumes observation by construction, so the map holds both the
+// observed races (with their verdicts) and the predicted-new ones
+// (with the second classification pass's verdicts), under the same
+// harmful-outranks-benign stickiness as the observed map.
+func collectPredicted(ev *static.DynamicEvidence, results []*Result) {
+	harmful := classify.PotentiallyHarmful.String()
+	record := func(sites hb.SitePair, verdict string) {
+		if prev, ok := ev.Predicted[sites]; !ok || (prev != harmful && verdict == harmful) {
+			ev.Predicted[sites] = verdict
+		}
+	}
+	for _, r := range results {
+		if r == nil || r.Predicted == nil {
+			continue
+		}
+		if ev.Predicted == nil {
+			ev.Predicted = map[hb.SitePair]string{}
+		}
+		if r.Classification != nil {
+			for _, rr := range r.Classification.Races {
+				record(rr.Sites, rr.Verdict.String())
+			}
+		}
+		if r.Predicted.Classification != nil {
+			for _, rr := range r.Predicted.Classification.Races {
+				record(rr.Sites, rr.Verdict.String())
+			}
+		}
+		for _, c := range r.Predicted.Report.Candidates {
+			record(c.Sites, "unclassified")
+		}
+	}
 }

@@ -54,6 +54,21 @@ func (s StaticSection) Render() string {
 	if denR > 0 {
 		fmt.Fprintf(&b, "  recall (dynamic races predicted):  %.2f\n", float64(tot.Matched)/float64(denR))
 	}
+	if tot.HasPredicted {
+		// The three-engine matrix: the same static candidates judged
+		// against the prediction engine's race set (observed races plus
+		// feasible reorderings). A refuted->matched move between the two
+		// rows is a static positive the observed schedule alone would
+		// have dismissed.
+		fmt.Fprintf(&b, "  vs prediction engine: %d matched, %d refuted, %d unmatched, %d missed\n",
+			tot.PredMatched, tot.PredRefuted, tot.PredUnmatched, tot.PredMissed)
+		if den := tot.PredMatched + tot.PredRefuted; den > 0 {
+			fmt.Fprintf(&b, "  precision (vs predicted races):    %.2f\n", float64(tot.PredMatched)/float64(den))
+		}
+		if den := tot.PredMatched + tot.PredMissed; den > 0 {
+			fmt.Fprintf(&b, "  recall (predicted races flagged):  %.2f\n", float64(tot.PredMatched)/float64(den))
+		}
+	}
 	if tot.Missed > 0 {
 		b.WriteString("  missed dynamic races (static false negatives):\n")
 		for _, sc := range s.Suite.Scenarios {

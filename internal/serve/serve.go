@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memostore"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -111,6 +112,14 @@ type Config struct {
 	MemoMaxBytes int64
 	// DB, when set, suppresses races a developer marked benign.
 	DB *classify.DB
+	// Predict adds the prediction stage to every job's analysis:
+	// feasible reorderings of the uploaded schedule are classified by
+	// the same dual-order replay and appended to the job report, and
+	// their verdicts count toward the job's benign/harmful totals.
+	Predict bool
+	// PredictWindow bounds the prediction solver's search distance
+	// (0 = the predict package default).
+	PredictWindow int
 	// Registry receives the serve.*, memostore.*, and pipeline metrics
 	// (nil is off, as everywhere in obs).
 	Registry *obs.Registry
@@ -451,8 +460,10 @@ func (s *Server) runJob(j *job) {
 		s.finish(j, out)
 	case <-t.C:
 		s.cDeadline.Inc()
-		s.finish(j, jobOutcome{err: &DeadlineError{JobID: j.id, Deadline: s.cfg.JobDeadline}})
+		// Gauge before verdict: anyone who observes the quarantined
+		// terminal state must already see the abandoned goroutine.
 		s.gAbandoned.Set(float64(s.abandoned.Add(1)))
+		s.finish(j, jobOutcome{err: &DeadlineError{JobID: j.id, Deadline: s.cfg.JobDeadline}})
 		go func() {
 			<-outCh // the stalled analysis eventually unwinds; its result is dropped
 			s.gAbandoned.Set(float64(s.abandoned.Add(-1)))
@@ -465,13 +476,22 @@ func (s *Server) runJob(j *job) {
 // failures come back as a Quarantined entry, never as a crash.
 func (s *Server) analyze(j *job, log *trace.Log) jobOutcome {
 	results, quarantined := core.AnalyzeLogsInstrumented([]*trace.Log{log}, func(int) classify.Options {
-		return classify.Options{Scenario: j.label, Seed: log.Seed, DB: s.cfg.DB, Memo: s.memo}
+		return classify.Options{Scenario: j.label, Seed: log.Seed, DB: s.cfg.DB, Memo: s.memo,
+			Predict: s.cfg.Predict, PredictWindow: s.cfg.PredictWindow}
 	}, 1, s.reg)
 	if len(quarantined) > 0 {
 		return jobOutcome{err: quarantined[0].Err}
 	}
 	res := results[0]
 	text, benign, harmful := renderJobReport(res.Classification)
+	if res.Predicted != nil {
+		text += "\n" + report.PredictedReport(res.Predicted)
+		if res.Predicted.Classification != nil {
+			pb, ph := res.Predicted.Classification.CountByVerdict()
+			benign += pb
+			harmful += ph
+		}
+	}
 	return jobOutcome{cls: res.Classification, report: text, benign: benign, harmful: harmful}
 }
 

@@ -280,7 +280,7 @@ func TestDeadlineQuarantine(t *testing.T) {
 	defer func() { setTestHookStallAnalysis(nil) }()
 
 	reg := obs.NewRegistry()
-	srv, ts := newTestServer(t, Config{Jobs: 1, JobDeadline: 100 * time.Millisecond, Registry: reg})
+	srv, ts := newTestServer(t, Config{Jobs: 1, JobDeadline: 500 * time.Millisecond, Registry: reg})
 	payload := recordPayload(t, "exec01")
 	_, body := upload(t, ts, "t", "stall.rlog", payload)
 	id := jobID(t, body)
@@ -288,7 +288,7 @@ func TestDeadlineQuarantine(t *testing.T) {
 	if v.Status != StatusQuarantined {
 		t.Fatalf("stalled job status = %s, want quarantined", v.Status)
 	}
-	wantErr := (&DeadlineError{JobID: id, Deadline: 100 * time.Millisecond}).Error()
+	wantErr := (&DeadlineError{JobID: id, Deadline: 500 * time.Millisecond}).Error()
 	if v.Err != wantErr {
 		t.Fatalf("stalled job err = %q, want %q", v.Err, wantErr)
 	}

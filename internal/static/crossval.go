@@ -14,6 +14,11 @@ import (
 type DynamicEvidence struct {
 	ObservedSites map[string]bool
 	Races         map[hb.SitePair]string // site pair -> verdict string
+	// Predicted is the prediction engine's race set (observed pairs plus
+	// feasible reordered pairs), site pair -> verdict string. Nil when
+	// the prediction stage did not run; cross-validation then reports
+	// the observed engine only.
+	Predicted map[hb.SitePair]string
 }
 
 // MatchState is the fate of one static candidate under cross-validation.
@@ -38,6 +43,13 @@ type CheckedCandidate struct {
 	Candidate
 	State   MatchState
 	Verdict string // classifier verdict when matched
+	// PredState is the candidate's fate against the prediction engine's
+	// race set (empty when no predicted evidence was supplied). A
+	// candidate the observed run refuted but prediction matched is the
+	// interesting cell: a static positive dynamic testing would have
+	// dismissed for scheduling reasons alone.
+	PredState   MatchState
+	PredVerdict string
 }
 
 // MissedRace is a dynamic race no static candidate covers — a static
@@ -56,6 +68,15 @@ type CrossResult struct {
 	Matched    int
 	Refuted    int
 	Unmatched  int
+
+	// Predicted-engine tallies (populated only when DynamicEvidence
+	// carried a Predicted map; HasPredicted distinguishes "engine ran
+	// and agreed nowhere" from "engine never ran").
+	HasPredicted  bool
+	PredMatched   int
+	PredRefuted   int
+	PredUnmatched int
+	PredMissed    []MissedRace
 }
 
 // Precision is matched / (matched + refuted): how often a dynamically
@@ -77,6 +98,22 @@ func (c *CrossResult) Recall() float64 {
 	return float64(c.Matched) / float64(c.Matched+len(c.Missed))
 }
 
+// PredPrecision and PredRecall are Precision/Recall against the
+// prediction engine's race set instead of the observed one.
+func (c *CrossResult) PredPrecision() float64 {
+	if c.PredMatched+c.PredRefuted == 0 {
+		return 1
+	}
+	return float64(c.PredMatched) / float64(c.PredMatched+c.PredRefuted)
+}
+
+func (c *CrossResult) PredRecall() float64 {
+	if c.PredMatched+len(c.PredMissed) == 0 {
+		return 1
+	}
+	return float64(c.PredMatched) / float64(c.PredMatched+len(c.PredMissed))
+}
+
 // CrossValidate joins static candidates against dynamic evidence.
 func CrossValidate(rep *Report, ev DynamicEvidence) *CrossResult {
 	return CrossValidateInstrumented(rep, ev, nil)
@@ -85,7 +122,7 @@ func CrossValidate(rep *Report, ev DynamicEvidence) *CrossResult {
 // CrossValidateInstrumented is CrossValidate publishing static.matched /
 // static.refuted / static.unmatched / static.missed counters into reg.
 func CrossValidateInstrumented(rep *Report, ev DynamicEvidence, reg *obs.Registry) *CrossResult {
-	out := &CrossResult{Prog: rep.Prog}
+	out := &CrossResult{Prog: rep.Prog, HasPredicted: ev.Predicted != nil}
 	covered := map[hb.SitePair]bool{}
 	for _, c := range rep.Candidates {
 		pair := hb.MakeSitePair(c.SiteA, c.SiteB)
@@ -102,6 +139,19 @@ func CrossValidateInstrumented(rep *Report, ev DynamicEvidence, reg *obs.Registr
 			cc.State = MatchUnmatched
 			out.Unmatched++
 		}
+		if out.HasPredicted {
+			if verdict, ok := ev.Predicted[pair]; ok {
+				cc.PredState = MatchMatched
+				cc.PredVerdict = verdict
+				out.PredMatched++
+			} else if ev.ObservedSites[c.SiteA] && ev.ObservedSites[c.SiteB] {
+				cc.PredState = MatchRefuted
+				out.PredRefuted++
+			} else {
+				cc.PredState = MatchUnmatched
+				out.PredUnmatched++
+			}
+		}
 		out.Candidates = append(out.Candidates, cc)
 	}
 	for pair, verdict := range ev.Races {
@@ -109,18 +159,36 @@ func CrossValidateInstrumented(rep *Report, ev DynamicEvidence, reg *obs.Registr
 			out.Missed = append(out.Missed, MissedRace{Sites: pair, Verdict: verdict})
 		}
 	}
-	sort.Slice(out.Missed, func(i, j int) bool {
-		a, b := out.Missed[i].Sites, out.Missed[j].Sites
-		if a.A != b.A {
-			return a.A < b.A
+	sortMissed(out.Missed)
+	if out.HasPredicted {
+		for pair, verdict := range ev.Predicted {
+			if !covered[pair] {
+				out.PredMissed = append(out.PredMissed, MissedRace{Sites: pair, Verdict: verdict})
+			}
 		}
-		return a.B < b.B
-	})
+		sortMissed(out.PredMissed)
+	}
 	if reg != nil {
 		reg.Counter("static.matched").Add(uint64(out.Matched))
 		reg.Counter("static.refuted").Add(uint64(out.Refuted))
 		reg.Counter("static.unmatched").Add(uint64(out.Unmatched))
 		reg.Counter("static.missed").Add(uint64(len(out.Missed)))
+		if out.HasPredicted {
+			reg.Counter("static.pred_matched").Add(uint64(out.PredMatched))
+			reg.Counter("static.pred_refuted").Add(uint64(out.PredRefuted))
+			reg.Counter("static.pred_unmatched").Add(uint64(out.PredUnmatched))
+			reg.Counter("static.pred_missed").Add(uint64(len(out.PredMissed)))
+		}
 	}
 	return out
+}
+
+func sortMissed(missed []MissedRace) {
+	sort.Slice(missed, func(i, j int) bool {
+		a, b := missed[i].Sites, missed[j].Sites
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
 }

@@ -22,6 +22,14 @@ type SuiteStatic struct {
 	Refuted   int
 	Unmatched int
 	Missed    int
+
+	// Predicted-engine totals (meaningful only when HasPredicted: the
+	// prediction stage supplied evidence for at least one scenario).
+	HasPredicted  bool
+	PredMatched   int
+	PredRefuted   int
+	PredUnmatched int
+	PredMissed    int
 }
 
 // crossValidateSuite runs the static analyzer over every base scenario of
@@ -72,6 +80,13 @@ func crossValidateSuite(run *SuiteRun, jobs int, reg *obs.Registry) *SuiteStatic
 		out.Refuted += sc.Cross.Refuted
 		out.Unmatched += sc.Cross.Unmatched
 		out.Missed += len(sc.Cross.Missed)
+		if sc.Cross.HasPredicted {
+			out.HasPredicted = true
+			out.PredMatched += sc.Cross.PredMatched
+			out.PredRefuted += sc.Cross.PredRefuted
+			out.PredUnmatched += sc.Cross.PredUnmatched
+			out.PredMissed += len(sc.Cross.PredMissed)
+		}
 	}
 	return out
 }

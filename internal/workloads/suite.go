@@ -40,6 +40,10 @@ type SuiteRun struct {
 	// is a deterministic function of the suite inputs — byte-identical
 	// at every Jobs count.
 	Audit *audit.File
+	// Predict is the prediction stage's aggregation (nil unless
+	// SuiteOptions.Predict was set): per-execution candidate counts and
+	// the merged classification of predicted-new races.
+	Predict *SuitePredict
 }
 
 // SuiteOptions configures a suite analysis.
@@ -83,6 +87,16 @@ type SuiteOptions struct {
 	// this trades instance coverage for recording time, so it is a
 	// monitoring knob, not a default.
 	StopOnRace bool
+	// Predict adds the prediction stage to every analyzed execution:
+	// feasible reorderings of the recorded schedule that would race are
+	// proposed, classified by the same dual-order replay, and aggregated
+	// into SuiteRun.Predict. Predict disables the online race-free fast
+	// path — a race-free observed interleaving is exactly where
+	// prediction has work to do.
+	Predict bool
+	// PredictWindow bounds the prediction solver's region-schedule
+	// search distance (0 = the predict package default).
+	PredictWindow int
 }
 
 // RunSuite records, replays, detects, and classifies every scenario, then
@@ -209,10 +223,12 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	}
 	results, quarantined := core.AnalyzeLogsInstrumented(logs, func(i int) classify.Options {
 		o := classify.Options{
-			Scenario: recs[i].label,
-			Seed:     recs[i].scenario.Seed,
-			DB:       opts.DB,
-			NoMemo:   opts.NoMemo,
+			Scenario:      recs[i].label,
+			Seed:          recs[i].scenario.Seed,
+			DB:            opts.DB,
+			NoMemo:        opts.NoMemo,
+			Predict:       opts.Predict,
+			PredictWindow: opts.PredictWindow,
 		}
 		if opts.Audit {
 			o.Audit = audits[recs[i].slot]
@@ -236,6 +252,7 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 	}
 
 	var parts []*classify.Classification
+	var labels []string
 	for i, res := range results {
 		if res == nil {
 			continue
@@ -243,8 +260,16 @@ func RunSuiteOpts(opts SuiteOptions) (*SuiteRun, error) {
 		res.Machine = recs[i].machine
 		run.Scenarios = append(run.Scenarios, ScenarioRun{Scenario: recs[i].scenario, Result: res})
 		parts = append(parts, res.Classification)
+		labels = append(labels, recs[i].label)
 	}
 	run.Merged = classify.Merge(parts...)
+	if opts.Predict {
+		healthy := make([]*core.Result, 0, len(run.Scenarios))
+		for _, sr := range run.Scenarios {
+			healthy = append(healthy, sr.Result)
+		}
+		run.Predict = BuildSuitePredict(labels, healthy)
+	}
 	if opts.Static {
 		run.Static = crossValidateSuite(run, opts.Jobs, reg)
 	}

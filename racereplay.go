@@ -35,6 +35,7 @@ import (
 	"repro/internal/lockset"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/record"
 	"repro/internal/replay"
 	"repro/internal/report"
@@ -129,6 +130,31 @@ type (
 	// carries on its Log; it is never serialized, so logs decoded from
 	// disk always take the full offline pass.
 	OnlineInfo = trace.OnlineInfo
+	// PredictOptions tunes a prediction pass (window bound, metrics).
+	PredictOptions = predict.Options
+	// PredictReport is the prediction pass output for one execution:
+	// every feasible candidate pair with its witness schedule, plus
+	// screening statistics and per-constraint rejection counts.
+	PredictReport = predict.Report
+	// PredictCandidate is one feasible predicted race pair; its Instance
+	// points at real recorded regions, so it classifies exactly like a
+	// detector instance.
+	PredictCandidate = predict.Candidate
+	// PredictWitness is the schedule evidence attached to a candidate:
+	// "observed" (the regions overlapped) or "reordered" (the hoisted
+	// witness suffix, as region Globals).
+	PredictWitness = predict.Witness
+	// Predicted bundles one execution's prediction stage as attached to
+	// Result.Predicted when Options.Predict is set: the raw report, the
+	// predicted-new races, and their replay classification.
+	Predicted = core.Predicted
+	// SuitePredict aggregates the prediction stage across a batch run.
+	SuitePredict = workloads.SuitePredict
+	// Manifest is the record-suite sidecar (racereplay-manifest/v1)
+	// carrying each log's online verdict across process boundaries.
+	Manifest = trace.Manifest
+	// ManifestEntry is one log's record in a Manifest.
+	ManifestEntry = trace.ManifestEntry
 )
 
 // Timeline event kinds.
@@ -300,6 +326,21 @@ func CrossValidateStaticInstrumented(rep *StaticReport, reg *Metrics, results ..
 	return static.CrossValidateInstrumented(rep, core.CollectEvidence(results), reg)
 }
 
+// PredictRaces runs the prediction pass over a replayed execution:
+// lockset + weak-HB screening, access-block grouping, and the windowed
+// ordering solver. The result is a deterministic function of the
+// execution; use Report.NewReport to subtract an observed race set and
+// Classify to judge the remainder. The usual entry point is
+// Options.Predict on AnalyzeLog and friends, which does all of that
+// and attaches the bundle to Result.Predicted.
+func PredictRaces(exec *Execution, opts PredictOptions) *PredictReport {
+	return predict.Run(exec, opts)
+}
+
+// PredictedReport renders one execution's prediction stage — solver
+// statistics and every predicted-new race with verdict and witness.
+func PredictedReport(p *Predicted) string { return report.PredictedReport(p) }
+
 // Analyze runs the whole pipeline: record, replay, detect, classify.
 func Analyze(prog *Program, cfg Config, opts Options) (*Result, error) {
 	return core.Analyze(prog, cfg, opts)
@@ -425,3 +466,11 @@ func LogDigest(log *Log) string { return core.LogDigest(log) }
 
 // ReadAuditFile loads and validates a racereplay-audit/v1 file.
 func ReadAuditFile(path string) (*AuditFile, error) { return audit.ReadFile(path) }
+
+// NewManifest returns an empty record-suite manifest envelope
+// (racereplay-manifest/v1): the sidecar that carries online race-free
+// verdicts from `racer record-suite -online` to `racer analyze-dir`.
+func NewManifest() *Manifest { return trace.NewManifest() }
+
+// ReadManifest loads and validates a racereplay-manifest/v1 file.
+func ReadManifest(path string) (*Manifest, error) { return trace.ReadManifest(path) }
