@@ -17,8 +17,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/paperbench -bench-out BENCH_9.json -bench-rounds 5
-	$(GO) run ./cmd/paperbench -check-bench BENCH_9.json
+	$(GO) run ./cmd/paperbench -bench-out BENCH_10.json -bench-rounds 5
+	$(GO) run ./cmd/paperbench -check-bench BENCH_10.json
 
 # Regenerate the flight-recorder artifacts: a parallel suite run with the
 # timeline on (load racer-trace.json at https://ui.perfetto.dev) and the
@@ -34,6 +34,7 @@ paper:
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzDecodeV2 -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/isa
 

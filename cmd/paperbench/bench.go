@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 
 	racereplay "repro"
@@ -186,6 +188,51 @@ func runBenchOut(path string, benchTime time.Duration, rounds int, out io.Writer
 		})
 	}
 
+	// Container decode throughput: the same synthetic 8-thread log is
+	// decoded from the v1 whole-log flate container (serial by
+	// construction — one compressed stream) and from the segmented v2
+	// container at one and eight workers. mb_per_s is container bytes
+	// over median wall time; raw_bits_per_instr is the §5.1 footprint
+	// metric for each format's uncompressed layout.
+	fmt.Fprintln(out, "bench: decode-suite (synthetic 8-thread log, v1 serial vs v2 parallel)")
+	synth := syntheticLog(prog, 8, 30000)
+	if err := trace.Validate(synth); err != nil {
+		return fmt.Errorf("synthetic decode-suite log invalid: %w", err)
+	}
+	v1data := trace.Compress(trace.Marshal(synth))
+	v2data := trace.MarshalV2(synth)
+	v1Stats := trace.Stats(synth)
+	v2Stats := trace.StatsV2(synth)
+	resV1 := r.Run(file, "decode-suite/v1-serial", func(n int) {
+		for i := 0; i < n; i++ {
+			raw, err := trace.Decompress(v1data)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := trace.Unmarshal(raw); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	resV1.Metrics = map[string]float64{
+		"mb_per_s":           mbPerS(len(v1data), resV1.Median()),
+		"raw_bits_per_instr": v1Stats.RawBitsPerInstr(),
+	}
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		res := r.Run(file, fmt.Sprintf("decode-suite/v2/jobs=%d", jobs), func(n int) {
+			for i := 0; i < n; i++ {
+				if _, _, err := trace.DecodeV2(v2data, trace.V2Options{Jobs: jobs}); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		res.Metrics = map[string]float64{
+			"mb_per_s":           mbPerS(len(v2data), res.Median()),
+			"raw_bits_per_instr": v2Stats.RawBitsPerInstr(),
+		}
+	}
+
 	if err := file.WriteFile(path); err != nil {
 		return err
 	}
@@ -235,4 +282,58 @@ func onOff(b bool) string {
 		return "on"
 	}
 	return "off"
+}
+
+// syntheticLog builds a deterministic, Validate-clean log sized for the
+// decode benchmarks: nThreads threads, each with loads unpredictable-load
+// records and a sequencer spine, over prog. The access pattern comes from
+// a fixed LCG so every run serializes to identical bytes.
+func syntheticLog(prog *isa.Program, nThreads, loads int) *trace.Log {
+	const seqEvery = 256 // one atomic sequencer per this many loads
+	log := &trace.Log{Prog: prog, Seed: 42}
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng
+	}
+	var clock uint64
+	for tid := 0; tid < nThreads; tid++ {
+		retired := uint64(4 * loads)
+		t := &trace.ThreadLog{
+			TID:       tid,
+			Retired:   retired,
+			EndReason: trace.EndHalted,
+		}
+		clock++
+		t.StartTS = clock
+		t.Seqs = append(t.Seqs, trace.Sequencer{Idx: 0, TS: clock, Kind: trace.SeqStart, Aux: -1})
+		for i := 0; i < loads; i++ {
+			idx := uint64(4*i + 1)
+			t.Loads = append(t.Loads, trace.LoadRec{
+				Idx:  idx,
+				Addr: 0x1000 + next()%4096*8,
+				Val:  next(),
+			})
+			if i%seqEvery == seqEvery-1 {
+				clock++
+				t.Seqs = append(t.Seqs, trace.Sequencer{Idx: idx + 1, TS: clock, Kind: trace.SeqAtomic, Aux: -1})
+			}
+		}
+		clock++
+		t.EndTS = clock
+		t.Seqs = append(t.Seqs, trace.Sequencer{Idx: retired, TS: clock, Kind: trace.SeqEnd, Aux: -1})
+		log.Threads = append(log.Threads, t)
+		log.TotalSteps += retired
+	}
+	log.FinalClock = clock
+	return log
+}
+
+// mbPerS converts a container size and a median ns/op into decode
+// throughput in megabytes per second.
+func mbPerS(bytes int, nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / (nsPerOp / 1e9)
 }

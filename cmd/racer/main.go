@@ -127,11 +127,15 @@ func usage() {
 
 commands (flags come before the file argument):
   run [-seed N] [-policy P] <prog.rasm>     execute a program on the RVM
-  record [-seed N] [-o LOG] [-keyframes N] [-online [-stop-on-race]] <prog.rasm>
+  record [-seed N] [-o LOG] [-format v1|v2] [-keyframes N] [-online [-stop-on-race]] <prog.rasm>
                                             record an execution into a replay log;
-                                            -online adds an in-recording race
-                                            verdict, -stop-on-race ends the run
-                                            at the first confirmed race
+                                            -format picks the container (v2, the
+                                            default, is the segmented index-first
+                                            layout with parallel decode; readers
+                                            sniff either), -online adds an
+                                            in-recording race verdict,
+                                            -stop-on-race ends the run at the
+                                            first confirmed race
   replay <LOG>                              deterministically replay a log
   detect [-detector hb|vc|lockset] <LOG>    find data races in a replayed log
   classify [-db FILE] [-race "A <-> B"] <LOG>
@@ -160,8 +164,9 @@ commands (flags come before the file argument):
                                         CFG + constant propagation + must-hold
                                         locksets; any candidate exits 1, any
                                         invalid program exits 2
-  record-suite -dir DIR [-seeds N] [-jobs N] [-online]
+  record-suite -dir DIR [-seeds N] [-jobs N] [-format v1|v2] [-online]
                                         record every scenario's log to DIR;
+                                        -format picks the container format,
                                         -online writes manifest.json with
                                         each log's online race verdict so
                                         analyze-dir can fast-path race-free
@@ -286,10 +291,15 @@ func cmdRecord(args []string) error {
 	keyframes := fs.Uint64("keyframes", 0, "emit a key frame every N instructions (0 = off)")
 	online := fs.Bool("online", false, "detect races during recording and print the verdict")
 	stopOnRace := fs.Bool("stop-on-race", false, "with -online, stop recording at the first confirmed race")
+	format := fs.String("format", "v2", "log container format: v1 (whole-log flate) or v2 (segmented, index-first)")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
 	if *stopOnRace && !*online {
 		return fmt.Errorf("-stop-on-race requires -online")
+	}
+	lf, err := racereplay.ParseLogFormat(*format)
+	if err != nil {
+		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("record wants one program file")
@@ -331,10 +341,10 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if err := racereplay.WriteLog(f, log); err != nil {
+	if err := racereplay.WriteLogFormat(f, log, lf); err != nil {
 		return err
 	}
-	s := racereplay.LogStats(log)
+	s := racereplay.LogStatsFormat(log, lf)
 	fmt.Fprintf(stdout, "recorded %d instructions across %d threads\n", s.Instructions, len(log.Threads))
 	fmt.Fprintf(stdout, "log: %d bytes raw (%.2f bits/instr), %d bytes compressed (%.2f bits/instr) -> %s\n",
 		s.RawBytes, s.RawBitsPerInstr(), s.CompressedBytes, s.CompressedBitsPerInstr(), *out)
@@ -821,8 +831,13 @@ func cmdRecordSuite(args []string) error {
 	seeds := fs.Int("seeds", 1, "scheduler seeds recorded per scenario")
 	jobs := fs.Int("jobs", 0, "recording workers (0 = GOMAXPROCS); output is identical at any count")
 	online := fs.Bool("online", false, "attach the online race detector and write manifest.json with each log's verdict")
+	format := fs.String("format", "v2", "log container format: v1 (whole-log flate) or v2 (segmented, index-first)")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
+	lf, err := racereplay.ParseLogFormat(*format)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
@@ -888,12 +903,12 @@ func cmdRecordSuite(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := racereplay.WriteLog(f, log); err != nil {
+		if err := racereplay.WriteLogFormat(f, log, lf); err != nil {
 			f.Close()
 			return err
 		}
 		f.Close()
-		st := racereplay.LogStats(log)
+		st := racereplay.LogStatsFormat(log, lf)
 		totalInstr += st.Instructions
 		totalBytes += st.CompressedBytes
 		if *online {
@@ -969,12 +984,49 @@ func cmdAnalyzeDir(args []string) error {
 	var quarantined []racereplay.Quarantined
 	var audits []*racereplay.AuditExecution
 	decodeSp := reg.StartSpan("decode")
+	// File decodes fan across the worker pool (a lone file fans its v2
+	// thread segments across the same budget instead). Each worker
+	// decodes into its slot with a forked registry; all bookkeeping —
+	// counter adoption, quarantine, manifest lookup — replays serially
+	// in directory order, so the output and the audit trail stay
+	// byte-identical at every -jobs count. Salvage mode means a v2
+	// container with some corrupt thread segments still contributes its
+	// healthy threads instead of quarantining the whole file.
+	type decoded struct {
+		log    *racereplay.Log
+		faults []racereplay.ThreadFault
+		err    error
+	}
+	segJobs := 1
+	if len(entries) == 1 {
+		segJobs = *jobs
+	}
+	slots := make([]decoded, len(entries))
+	decForks := make([]*racereplay.Metrics, len(entries))
+	dpool := sched.NewPool(*jobs, reg)
+	for i := range entries {
+		i := i
+		decForks[i] = reg.Fork()
+		dpool.Submit(func() {
+			d := &slots[i]
+			data, err := os.ReadFile(entries[i])
+			if err != nil {
+				d.err = err
+				return
+			}
+			d.log, d.faults, d.err = racereplay.DecodeLogOpts(data, racereplay.DecodeOptions{
+				Jobs: segJobs, Salvage: true, Metrics: decForks[i],
+			})
+			if d.err == nil {
+				d.err = racereplay.ValidateLog(d.log)
+			}
+		})
+	}
+	dpool.Wait()
 	for i, path := range entries {
+		reg.Adopt(decForks[i])
 		label := filepath.Base(path)
-		log, err := loadLog(path)
-		if err == nil {
-			err = racereplay.ValidateLog(log)
-		}
+		log, err := slots[i].log, slots[i].err
 		var ae *racereplay.AuditExecution
 		if *auditOut != "" {
 			ae = &racereplay.AuditExecution{Scenario: label}
@@ -992,6 +1044,10 @@ func cmdAnalyzeDir(args []string) error {
 				ae.Quarantined = err.Error()
 			}
 			continue
+		}
+		for _, tf := range slots[i].faults {
+			reg.Logger().Warn("thread segment salvaged at decode",
+				"file", label, "segment", tf.Segment, "tid", tf.TID, "err", tf.Err.Error())
 		}
 		reg.EmitLabeled("decode", label, log.Instructions())
 		var digest string
@@ -1199,13 +1255,20 @@ func cmdChaos(args []string) error {
 	serveURL := fs.String("serve", "", "fire the corruption sweep at a running 'racer serve' endpoint (e.g. http://127.0.0.1:8844) instead of the local decoder")
 	metrics := addMetricsFlags(fs)
 	fs.Parse(args)
-	var container []byte
+	// Sweep every container format the decoder sniffs: a recorded
+	// scenario is corrupted both as a v1 and as a v2 container. An
+	// explicit -log file is swept as-is, whatever format it holds.
+	type target struct {
+		label     string
+		container []byte
+	}
+	var targets []target
 	if *logPath != "" {
 		b, err := os.ReadFile(*logPath)
 		if err != nil {
 			return err
 		}
-		container = b
+		targets = []target{{*logPath, b}}
 	} else {
 		s, err := workloads.FindScenario(*name)
 		if err != nil {
@@ -1219,34 +1282,43 @@ func cmdChaos(args []string) error {
 		if err != nil {
 			return err
 		}
-		var buf bytes.Buffer
-		if err := racereplay.WriteLog(&buf, log); err != nil {
-			return err
+		for _, lf := range []racereplay.LogFormat{racereplay.FormatV1, racereplay.FormatV2} {
+			var buf bytes.Buffer
+			if err := racereplay.WriteLogFormat(&buf, log, lf); err != nil {
+				return err
+			}
+			targets = append(targets, target{"format " + string(lf), buf.Bytes()})
 		}
-		container = buf.Bytes()
 	}
 	reg, err := metrics.registry()
 	if err != nil {
 		return err
 	}
-	if *serveURL != "" {
-		rep := chaos.RunHTTP(*serveURL, container, *n, *seed, reg)
+	violations := 0
+	for _, tgt := range targets {
+		if len(targets) > 1 {
+			fmt.Fprintf(stdout, "== %s ==\n", tgt.label)
+		}
+		var rep interface {
+			Summary() string
+			Violations() int
+		}
+		if *serveURL != "" {
+			rep = chaos.RunHTTP(*serveURL, tgt.container, *n, *seed, reg)
+		} else {
+			rep = chaos.Run(tgt.container, *n, *seed, reg)
+		}
 		fmt.Fprint(stdout, rep.Summary())
-		if err := metrics.emit(reg); err != nil {
-			return err
-		}
-		if v := rep.Violations(); v > 0 {
-			return fmt.Errorf("chaos: service contract violated %d times", v)
-		}
-		return nil
+		violations += rep.Violations()
 	}
-	rep := chaos.Run(container, *n, *seed, reg)
-	fmt.Fprint(stdout, rep.Summary())
 	if err := metrics.emit(reg); err != nil {
 		return err
 	}
-	if v := rep.Violations(); v > 0 {
-		return fmt.Errorf("chaos: robustness contract violated %d times", v)
+	if violations > 0 {
+		if *serveURL != "" {
+			return fmt.Errorf("chaos: service contract violated %d times", violations)
+		}
+		return fmt.Errorf("chaos: robustness contract violated %d times", violations)
 	}
 	return nil
 }

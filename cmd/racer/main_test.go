@@ -533,3 +533,36 @@ func TestCmdRecordSuiteAndAnalyzeDirParallel(t *testing.T) {
 		t.Errorf("analyze-dir output: %s", serial[:120])
 	}
 }
+
+// TestFormatDivergence: the container format is transport, never
+// semantics — the same executions recorded as v1 and as v2 must analyze
+// to byte-identical reports and audit trails, at any worker count.
+func TestFormatDivergence(t *testing.T) {
+	base := t.TempDir()
+	dirV1 := filepath.Join(base, "v1")
+	dirV2 := filepath.Join(base, "v2")
+	capture(t, func() error { return cmdRecordSuite([]string{"-dir", dirV1, "-seeds", "2", "-format", "v1"}) })
+	capture(t, func() error { return cmdRecordSuite([]string{"-dir", dirV2, "-seeds", "2", "-format", "v2"}) })
+	auditV1 := filepath.Join(base, "audit-v1.json")
+	auditV2 := filepath.Join(base, "audit-v2.json")
+	repV1 := capture(t, func() error {
+		return cmdAnalyzeDir([]string{"-dir", dirV1, "-jobs", "1", "-audit-out", auditV1})
+	})
+	repV2 := capture(t, func() error {
+		return cmdAnalyzeDir([]string{"-dir", dirV2, "-jobs", "4", "-audit-out", auditV2})
+	})
+	if repV1 != repV2 {
+		t.Errorf("analyze-dir reports diverge between formats:\n-- v1 (jobs=1) --\n%s\n-- v2 (jobs=4) --\n%s", repV1, repV2)
+	}
+	a1, err := os.ReadFile(auditV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := os.ReadFile(auditV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a1) != string(a2) {
+		t.Error("audit trails diverge between formats")
+	}
+}

@@ -48,9 +48,24 @@ const (
 	KindDropSequencer
 	// KindBadMagic corrupts the container's magic string.
 	KindBadMagic
-	// KindGarbageTail replaces the tail of the compressed container
-	// with random garbage, breaking the flate stream.
+	// KindGarbageTail replaces the tail of the container, from a random
+	// point to the end, with random garbage — breaking the flate stream
+	// (v1) or a run of segments (v2).
 	KindGarbageTail
+	// KindIndexCorrupt flips a byte inside a v2 container's segment
+	// index, so the index checksum or the canonical-layout checks must
+	// reject the log before any segment is touched. On a v1 container it
+	// degrades to KindMutateField over the raw payload.
+	KindIndexCorrupt
+	// KindTornSegment garbages a v2 container from a random point inside
+	// one segment's payload through the end — the on-disk shape of a
+	// write torn mid-segment. On v1 it degrades to KindTruncate.
+	KindTornSegment
+	// KindVarintOverrun overwrites a span of one v2 segment's payload
+	// with maximal varint bytes and repairs the checksums, so the overrun
+	// reaches the varint parser itself rather than dying at the CRC gate.
+	// On v1 it degrades to KindInflateLength.
+	KindVarintOverrun
 
 	numKinds
 )
@@ -73,6 +88,12 @@ func (k Kind) String() string {
 		return "bad-magic"
 	case KindGarbageTail:
 		return "garbage-tail"
+	case KindIndexCorrupt:
+		return "index-corrupt"
+	case KindTornSegment:
+		return "torn-segment"
+	case KindVarintOverrun:
+		return "varint-overrun"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -110,13 +131,21 @@ func (in *Injector) CorruptFile(container []byte, trial int) ([]byte, Kind) {
 	return in.CorruptFileKind(container, kind, trial), kind
 }
 
-// CorruptFileKind applies one specific corruption kind to a compressed
-// log container, deterministically in (seed, trial).
+// CorruptFileKind applies one specific corruption kind to a log
+// container of either format, deterministically in (seed, trial). On v1
+// containers the payload kinds decompress, corrupt the raw bytes, and
+// recompress; on v2 containers they target the segmented layout
+// directly (see corruptV2). The v2-specific kinds degrade to their
+// closest v1 analogue on a v1 container, so the kind rotation is total
+// over both formats.
 func (in *Injector) CorruptFileKind(container []byte, kind Kind, trial int) []byte {
 	rng := in.rng(trial)
 	switch kind {
 	case KindBadMagic, KindGarbageTail:
 		return corruptContainer(clone(container), kind, rng)
+	}
+	if trace.SniffFormat(container) == trace.FormatV2 {
+		return corruptV2(clone(container), kind, rng)
 	}
 	raw, err := trace.Decompress(container)
 	if err != nil {
@@ -124,7 +153,79 @@ func (in *Injector) CorruptFileKind(container []byte, kind Kind, trial int) []by
 		// the container bytes directly.
 		return corruptContainer(clone(container), KindGarbageTail, rng)
 	}
+	switch kind {
+	case KindIndexCorrupt:
+		kind = KindMutateField
+	case KindTornSegment:
+		kind = KindTruncate
+	case KindVarintOverrun:
+		kind = KindInflateLength
+	}
 	return trace.Compress(CorruptRaw(raw, kind, rng))
+}
+
+// corruptV2 applies kind to a v2 container in place. Byte-level kinds
+// hit the container bytes (the CRC gates are part of the contract under
+// test); the structured kinds re-encode a mutated log in the same
+// format; the v2-specific kinds target the layout's own structures —
+// index, packed segments, varint streams.
+func corruptV2(data []byte, kind Kind, rng *rand.Rand) []byte {
+	spans, ok := trace.V2SegmentSpans(data)
+	if !ok || len(spans) == 0 {
+		return corruptContainer(data, KindGarbageTail, rng)
+	}
+	switch kind {
+	case KindBitFlip, KindTruncate, KindInflateLength, KindMutateField:
+		// Raw byte corruptions apply to the container as a whole; the
+		// decoder must answer with header, index, or segment errors.
+		return CorruptRaw(data, kind, rng)
+	case KindDupSequencer, KindDropSequencer:
+		log, err := trace.Decode(data)
+		if err != nil || len(log.Threads) == 0 {
+			return CorruptRaw(data, KindBitFlip, rng)
+		}
+		t := log.Threads[rng.Intn(len(log.Threads))]
+		if len(t.Seqs) == 0 {
+			return CorruptRaw(data, KindBitFlip, rng)
+		}
+		if kind == KindDupSequencer {
+			t.Seqs = dupSeq(t.Seqs, rng.Intn(len(t.Seqs)))
+		} else {
+			t.Seqs = dropSeq(t.Seqs, rng.Intn(len(t.Seqs)))
+		}
+		return trace.MarshalV2(log)
+	case KindIndexCorrupt:
+		// [5, payloadStart) covers version, flags, count, index CRC, and
+		// the index entries — everything the header/index parser guards.
+		idxEnd := spans[0][0]
+		i := 5 + rng.Intn(idxEnd-5)
+		data[i] ^= 1 << uint(rng.Intn(8))
+		return data
+	case KindTornSegment:
+		s := spans[rng.Intn(len(spans))]
+		start := s[0]
+		if s[1] > s[0] {
+			start += rng.Intn(s[1] - s[0])
+		}
+		for i := start; i < len(data); i++ {
+			data[i] = byte(rng.Intn(256))
+		}
+		return data
+	case KindVarintOverrun:
+		seg := rng.Intn(len(spans))
+		trace.RewriteV2Segment(data, seg, func(payload []byte) {
+			if len(payload) == 0 {
+				return
+			}
+			// A maximal 10-byte uvarint (2^63) overwrites a random span,
+			// truncated at the payload end so the layout stays intact.
+			huge := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+			pos := rng.Intn(len(payload))
+			copy(payload[pos:], huge)
+		})
+		return data
+	}
+	return CorruptRaw(data, KindBitFlip, rng)
 }
 
 // CorruptRaw applies kind to a raw (uncompressed) marshalled log,
@@ -162,19 +263,9 @@ func CorruptRaw(raw []byte, kind Kind, rng *rand.Rand) []byte {
 			}
 		}
 	case KindDupSequencer:
-		out = mutateSequencers(out, rng, func(seqs []trace.Sequencer, i int) []trace.Sequencer {
-			dup := make([]trace.Sequencer, 0, len(seqs)+1)
-			dup = append(dup, seqs[:i+1]...)
-			dup = append(dup, seqs[i:]...)
-			return dup
-		})
+		out = mutateSequencers(out, rng, dupSeq)
 	case KindDropSequencer:
-		out = mutateSequencers(out, rng, func(seqs []trace.Sequencer, i int) []trace.Sequencer {
-			drop := make([]trace.Sequencer, 0, len(seqs)-1)
-			drop = append(drop, seqs[:i]...)
-			drop = append(drop, seqs[i+1:]...)
-			return drop
-		})
+		out = mutateSequencers(out, rng, dropSeq)
 	case KindBadMagic:
 		if len(out) > 0 {
 			out[rng.Intn(min(5, len(out)))] ^= 0xff
@@ -185,6 +276,22 @@ func CorruptRaw(raw []byte, kind Kind, rng *rand.Rand) []byte {
 		}
 	}
 	return out
+}
+
+// dupSeq and dropSeq are the structured sequencer edits, shared by the
+// v1 raw path and the v2 re-encode path.
+func dupSeq(seqs []trace.Sequencer, i int) []trace.Sequencer {
+	dup := make([]trace.Sequencer, 0, len(seqs)+1)
+	dup = append(dup, seqs[:i+1]...)
+	dup = append(dup, seqs[i:]...)
+	return dup
+}
+
+func dropSeq(seqs []trace.Sequencer, i int) []trace.Sequencer {
+	drop := make([]trace.Sequencer, 0, len(seqs)-1)
+	drop = append(drop, seqs[:i]...)
+	drop = append(drop, seqs[i+1:]...)
+	return drop
 }
 
 // mutateSequencers parses a raw log, rewrites one thread's sequencer
@@ -213,7 +320,7 @@ func corruptContainer(data []byte, kind Kind, rng *rand.Rand) []byte {
 	case KindBadMagic:
 		data[rng.Intn(min(5, len(data)))] ^= 0xff
 	default: // KindGarbageTail
-		start := len(data) / 2
+		start := rng.Intn(len(data))
 		for i := start; i < len(data); i++ {
 			data[i] = byte(rng.Intn(256))
 		}
@@ -222,12 +329,13 @@ func corruptContainer(data []byte, kind Kind, rng *rand.Rand) []byte {
 }
 
 // KnownBad returns, for every corruption kind, container bytes that are
-// guaranteed to fail the full decode path (Decompress + Unmarshal +
-// Validate). Kinds whose random draw happens to produce a still-valid
-// log (a bit flip in a don't-care byte, a dropped sequencer the
-// validator tolerates) are retried on successive trials; a kind that
-// cannot be made to fail after maxTries is skipped. This is the
-// generator behind testdata/corrupt.
+// guaranteed to fail the full sniffing decode path with thread salvage
+// on — the exact path analyze-dir and serve run — so every corpus entry
+// quarantines the whole log, never just a thread. Kinds whose random
+// draw happens to produce a decodable input (a bit flip in a don't-care
+// byte, a torn v2 segment salvage confines to one thread) are retried
+// on successive trials; a kind that cannot be made to fail after
+// maxTries is skipped. This is the generator behind testdata/corrupt.
 func KnownBad(container []byte, seed int64) map[Kind][]byte {
 	const maxTries = 256
 	in := NewInjector(seed)
@@ -244,13 +352,10 @@ func KnownBad(container []byte, seed int64) map[Kind][]byte {
 	return out
 }
 
-// decodeFails reports whether the full file decode path rejects data.
+// decodeFails reports whether the sniffing file decode path — thread
+// salvage included, as analyze-dir and serve run it — rejects data.
 func decodeFails(data []byte) bool {
-	raw, err := trace.Decompress(data)
-	if err != nil {
-		return true
-	}
-	log, err := trace.Unmarshal(raw)
+	log, _, err := trace.DecodeOpts(data, trace.V2Options{QuarantineThreads: true})
 	if err != nil {
 		return true
 	}

@@ -1,12 +1,16 @@
 // Command gen regenerates the checked-in corruption corpora from the
 // exec01 recording, deterministically:
 //
-//   - testdata/corrupt/<kind>.rlog — one known-bad container per
+//   - testdata/corrupt/<kind>.rlog — one known-bad v1 container per
 //     corruption kind, consumed by the trace decode tests and the CLI
 //     quarantine test;
+//   - testdata/corrupt/v2-<kind>.rlog — the same over the segmented v2
+//     container (kinds whose damage always salvages may be absent);
 //   - internal/trace/testdata/fuzz/FuzzUnmarshal/chaos-<kind> — the
 //     same corruptions as raw (uncompressed) payloads, seeding the
 //     decoder fuzzer;
+//   - internal/trace/testdata/fuzz/FuzzDecodeV2/chaos-* — corrupted and
+//     intact v2 containers seeding the segmented-decoder fuzzer;
 //   - internal/isa/testdata/fuzz/FuzzDecode/chaos-flip-<i> — bit-flipped
 //     instruction encodings seeding the instruction fuzzer.
 //
@@ -75,6 +79,29 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+
+	// The same sweep over the segmented v2 container. Corruptions that
+	// confine their damage to one thread segment salvage instead of
+	// failing, so KnownBad may skip a kind here; consumers glob.
+	v2 := trace.MarshalV2(rlog)
+	v2Dir := filepath.Join(*root, "internal", "trace", "testdata", "fuzz", "FuzzDecodeV2")
+	if err := os.MkdirAll(v2Dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	badV2 := chaos.KnownBad(v2, *seed)
+	for kind, data := range badV2 {
+		path := filepath.Join(corruptDir, "v2-"+kind.String()+".rlog")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeSeed(filepath.Join(v2Dir, "chaos-"+kind.String()), data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	if err := writeSeed(filepath.Join(v2Dir, "chaos-intact"), v2); err != nil {
+		log.Fatal(err)
 	}
 
 	// Instruction fuzzer seeds: encoded instructions with one bit flipped.

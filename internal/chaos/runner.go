@@ -30,6 +30,7 @@ type Trial struct {
 	InputBytes int
 	AllocBytes uint64
 	Err        error // nil when the corrupted log still decoded to a valid log
+	Salvaged   int   // thread segments quarantined by a v2 salvage decode
 	Panicked   bool
 	PanicValue string
 	Unbounded  bool
@@ -45,6 +46,7 @@ type Report struct {
 	Untyped   int // errors that are neither *DecodeError nor *ValidateError
 	Accepted  int // corruptions the decoder still accepted as valid logs
 	Rejected  int
+	Salvaged  int // trials a v2 salvage decode accepted minus corrupt threads
 	MaxAlloc  uint64
 }
 
@@ -69,8 +71,8 @@ func (r *Report) ByKind() map[Kind][2]int {
 // Summary renders the human-readable contract report.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos: %d corruptions (seed %d): %d rejected, %d accepted as still-valid\n",
-		len(r.Trials), r.Seed, r.Rejected, r.Accepted)
+	fmt.Fprintf(&b, "chaos: %d corruptions (seed %d): %d rejected, %d accepted as still-valid (%d salvaged)\n",
+		len(r.Trials), r.Seed, r.Rejected, r.Accepted, r.Salvaged)
 	byKind := r.ByKind()
 	kinds := make([]Kind, 0, len(byKind))
 	for k := range byKind {
@@ -87,10 +89,10 @@ func (r *Report) Summary() string {
 }
 
 // Run corrupts the container n times with a deterministic injector and
-// drives each mutant through the full file-decode path (Decompress,
-// Unmarshal, Validate), checking the contract on every trial. The
-// optional registry receives chaos.* counters (nil is off, as
-// everywhere).
+// drives each mutant through the full sniffing file-decode path (either
+// container format, thread salvage on, Validate), checking the contract
+// on every trial. The optional registry receives chaos.* counters (nil
+// is off, as everywhere).
 func Run(container []byte, n int, seed int64, reg *obs.Registry) *Report {
 	in := NewInjector(seed)
 	rep := &Report{Seed: seed}
@@ -125,6 +127,10 @@ func Run(container []byte, n int, seed int64, reg *obs.Registry) *Report {
 			}
 		} else if !t.Panicked {
 			rep.Accepted++
+			if t.Salvaged > 0 {
+				rep.Salvaged++
+				reg.Counter("chaos.salvaged").Inc()
+			}
 		}
 		if t.AllocBytes > rep.MaxAlloc {
 			rep.MaxAlloc = t.AllocBytes
@@ -150,12 +156,10 @@ func decodeTrial(data []byte) (t Trial) {
 				t.PanicValue = fmt.Sprintf("%v\n%s", r, debug.Stack())
 			}
 		}()
-		raw, err := trace.Decompress(data)
+		log, faults, err := trace.DecodeOpts(data, trace.V2Options{QuarantineThreads: true})
 		if err == nil {
-			var log *trace.Log
-			if log, err = trace.Unmarshal(raw); err == nil {
-				err = trace.Validate(log)
-			}
+			t.Salvaged = len(faults)
+			err = trace.Validate(log)
 		}
 		t.Err = err
 	}()

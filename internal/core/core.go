@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 
 	"repro/internal/classify"
 	"repro/internal/hb"
@@ -69,24 +70,50 @@ func LogDigest(log *trace.Log) string {
 }
 
 // DecodeLog decodes and validates one serialized log container — the
-// exact decode path analyze-dir applies to a .rlog file (decompress,
-// unmarshal, structural validation), factored out for callers that
-// ingest containers from other transports: the `racer serve` upload
-// handler and the chaos HTTP sweep. Failures are the trace package's
-// typed errors, so rejections stay within the robustness contract.
+// exact decode path analyze-dir applies to a .rlog file, factored out
+// for callers that ingest containers from other transports: the
+// `racer serve` upload handler and the chaos HTTP sweep. The format is
+// sniffed from the magic bytes (v1 and v2 both accepted). Failures are
+// the trace package's typed errors, so rejections stay within the
+// robustness contract.
 func DecodeLog(data []byte) (*trace.Log, error) {
-	raw, err := trace.Decompress(data)
-	if err != nil {
-		return nil, err
-	}
-	log, err := trace.Unmarshal(raw)
-	if err != nil {
-		return nil, err
-	}
-	if err := trace.Validate(log); err != nil {
-		return nil, err
-	}
-	return log, nil
+	log, _, err := DecodeLogOpts(data, DecodeOptions{})
+	return log, err
+}
+
+// DecodeOptions tunes DecodeLogOpts/DecodeLogFrom. The zero value is the
+// strict serial decode every pre-v2 caller used.
+type DecodeOptions struct {
+	// Jobs fans v2 segment decode across workers (<= 1 serial; v1 is
+	// inherently serial).
+	Jobs int
+	// Salvage confines v2 per-segment corruption to the segment's
+	// thread where structurally safe: corrupt thread segments are
+	// dropped and reported as faults while the healthy remainder
+	// analyzes. Damage to the header, index, or meta segment — or a v1
+	// log's corruption, which has no segment boundaries to confine it —
+	// still condemns the whole log.
+	Salvage bool
+	// Metrics receives the decode.v2.* counters (nil is off).
+	Metrics *obs.Registry
+}
+
+// DecodeLogOpts is DecodeLog with worker fan-out, thread salvage, and
+// metrics. The fault list is non-empty only for a salvaged v2 log.
+func DecodeLogOpts(data []byte, o DecodeOptions) (*trace.Log, []trace.ThreadFault, error) {
+	return trace.DecodeOpts(data, trace.V2Options{
+		Jobs: o.Jobs, QuarantineThreads: o.Salvage, Metrics: o.Metrics,
+	})
+}
+
+// DecodeLogFrom decodes a serialized log straight from an io.ReaderAt —
+// the spooled-upload path: a v2 container is read header, index, then
+// segment by segment, so the full container is never resident; v1 falls
+// back to a whole-buffer read.
+func DecodeLogFrom(r io.ReaderAt, size int64, o DecodeOptions) (*trace.Log, []trace.ThreadFault, error) {
+	return trace.DecodeFrom(r, size, trace.V2Options{
+		Jobs: o.Jobs, QuarantineThreads: o.Salvage, Metrics: o.Metrics,
+	})
 }
 
 // Record runs prog under cfg and returns its replay log (the online half

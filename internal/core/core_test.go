@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"strings"
@@ -234,5 +235,44 @@ func TestAnalyzeLogsIsolatesPanics(t *testing.T) {
 		if len(quarantined) != 1 || quarantined[0].Index != 0 {
 			t.Fatalf("jobs=%d: quarantine = %v, want the panicking log only", jobs, quarantined)
 		}
+	}
+}
+
+// TestDecodeLogBothFormats: DecodeLog and DecodeLogFrom sniff either
+// container format and return the same log the v1 path does.
+func TestDecodeLogBothFormats(t *testing.T) {
+	prog, err := asm.Assemble("core", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := Record(prog, machine.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Marshal(log)
+	v1 := trace.Compress(want)
+	v2 := trace.MarshalV2(log)
+	for name, data := range map[string][]byte{"v1": v1, "v2": v2, "raw": want} {
+		got, err := DecodeLog(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeLog: %v", name, err)
+		}
+		if !reflect.DeepEqual(trace.Marshal(got), want) {
+			t.Errorf("%s: DecodeLog round-trip diverged", name)
+		}
+		got2, faults, err := DecodeLogFrom(bytes.NewReader(data), int64(len(data)),
+			DecodeOptions{Jobs: 2, Salvage: true, Metrics: obs.NewRegistry()})
+		if err != nil {
+			t.Fatalf("%s: DecodeLogFrom: %v", name, err)
+		}
+		if len(faults) != 0 {
+			t.Errorf("%s: DecodeLogFrom faults = %v on an intact log", name, faults)
+		}
+		if !reflect.DeepEqual(trace.Marshal(got2), want) {
+			t.Errorf("%s: DecodeLogFrom round-trip diverged", name)
+		}
+	}
+	if _, err := DecodeLog([]byte("not a log at all")); err == nil {
+		t.Error("garbage accepted")
 	}
 }

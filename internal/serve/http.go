@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 
 	"repro/internal/classify"
@@ -101,8 +105,28 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		label = "upload.rlog"
 	}
 
+	// The body spools to disk as it arrives, never into memory: a
+	// -max-upload body costs one copy buffer, not its full size, and the
+	// spool file is already the durable payload — persistAccept only
+	// fsyncs and renames it into place. The content hash is computed on
+	// the same pass through the TeeReader.
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	data, err := io.ReadAll(body)
+	spool, err := os.CreateTemp(filepath.Join(s.cfg.DataDir, "jobs"), "up-*.spool")
+	if err != nil {
+		s.cRejected.Inc()
+		writeJSON(w, http.StatusInternalServerError, uploadResponse{Err: "spooling upload: " + err.Error()})
+		return
+	}
+	spoolName := spool.Name()
+	persisted := false // once renamed into jobs/, the spool must survive
+	defer func() {
+		if !persisted {
+			spool.Close()
+			os.Remove(spoolName)
+		}
+	}()
+	hash := sha256.New()
+	size, err := io.Copy(spool, io.TeeReader(body, hash))
 	if err != nil {
 		s.cRejected.Inc()
 		var tooBig *http.MaxBytesError
@@ -114,24 +138,33 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, uploadResponse{Err: "truncated upload: " + err.Error()})
 		return
 	}
+	sha := hex.EncodeToString(hash.Sum(nil))
+	s.cSpooled.Add(uint64(size))
 
 	// Decode before taking a queue slot: a corrupt log's verdict is
 	// already known (quarantine), so it never competes with real work.
-	// sched.Guard turns a decoder panic into the same typed-error path.
+	// Decoding straight from the spool keeps a v2 container's residency
+	// at one segment, not the whole file; salvage mode matches
+	// analyze-dir, so a v2 upload with some corrupt thread segments still
+	// analyzes its healthy threads. sched.Guard turns a decoder panic
+	// into the same typed-error path.
 	var log *trace.Log
+	var faults []trace.ThreadFault
 	derr := sched.Guard(s.reg, func() error {
 		var err error
-		log, err = core.DecodeLog(data)
+		log, faults, err = core.DecodeLogFrom(spool, size, core.DecodeOptions{
+			Salvage: true, Metrics: s.reg,
+		})
 		return err
 	})
 	if derr != nil {
-		j := s.newJob(tenant, label, payloadSHA(data), 0)
+		j := s.newJob(tenant, label, sha, 0)
 		j.mu.Lock()
 		j.status = StatusQuarantined
 		j.errText = derr.Error()
 		j.mu.Unlock()
 		close(j.persisted)
-		s.jnl.append(record{Op: "accept", ID: j.id, Tenant: tenant, Label: label, SHA: payloadSHA(data)})
+		s.jnl.append(record{Op: "accept", ID: j.id, Tenant: tenant, Label: label, SHA: sha})
 		s.jnl.append(record{Op: "done", ID: j.id, Status: string(StatusQuarantined), Err: j.errText})
 		s.cQuarantined.Inc()
 		s.reg.EmitLabeled("serve.job.quarantined", label, uint64(idNumber(j.id)))
@@ -139,8 +172,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, uploadResponse{ID: j.id, Status: StatusQuarantined, Err: j.errText})
 		return
 	}
+	for _, tf := range faults {
+		s.reg.Logger().Warn("upload thread segment salvaged",
+			"label", label, "segment", tf.Segment, "tid", tf.TID, "err", tf.Err.Error())
+	}
 
-	j := s.newJob(tenant, label, payloadSHA(data), log.Seed)
+	j := s.newJob(tenant, label, sha, log.Seed)
 	j.mu.Lock()
 	j.log = log
 	j.mu.Unlock()
@@ -163,7 +200,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.gQueue.Set(float64(s.queue.Len()))
-	if err := s.persistAccept(j, data); err != nil {
+	if err := s.persistAccept(j, spool); err != nil {
 		// The job may already be in a worker's hands; quarantine it so
 		// the unpersisted work is an explicit verdict, not silent loss.
 		j.mu.Lock()
@@ -178,6 +215,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, uploadResponse{ID: j.id, Status: StatusQuarantined, Err: j.errText})
 		return
 	}
+	persisted = true
 	close(j.persisted)
 	s.cAccepted.Inc()
 	s.reg.EmitLabeled("serve.job.accepted", label, uint64(idNumber(j.id)))

@@ -38,6 +38,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -218,7 +219,7 @@ type Server struct {
 
 	cUploads, cAccepted, cRejected, cBackpressure *obs.Counter
 	cDone, cQuarantined, cDeadline, cResumed      *obs.Counter
-	cHTTPPanics, cJournalSkipped                  *obs.Counter
+	cHTTPPanics, cJournalSkipped, cSpooled        *obs.Counter
 	gQueue, gAbandoned, gDraining, gJobs          *obs.Gauge
 }
 
@@ -272,6 +273,7 @@ func New(cfg Config) (*Server, error) {
 		cHTTPPanics:   reg.Counter("serve.http_panics"),
 		cJournalSkipped: reg.Counter(
 			"serve.journal_skipped_lines"),
+		cSpooled:   reg.Counter("serve.spooled_bytes"),
 		gQueue:     reg.Gauge("serve.queue_depth"),
 		gAbandoned: reg.Gauge("serve.abandoned_analyses"),
 		gDraining:  reg.Gauge("serve.draining"),
@@ -330,19 +332,33 @@ func (s *Server) restore(recs []record) {
 // restorePending reloads an accepted-but-unverdicted job's payload and
 // stages it for analysis; any failure — missing payload, digest
 // mismatch, decode error — quarantines the job (journaled immediately,
-// so the failure is not rediscovered on every restart).
+// so the failure is not rediscovered on every restart). Like ingest,
+// the payload is hashed and decoded by streaming, never read whole.
 func (s *Server) restorePending(j *job) {
-	data, err := os.ReadFile(s.payloadPath(j.id))
-	if err == nil && j.sha != "" {
-		if sum := payloadSHA(data); sum != j.sha {
-			err = fmt.Errorf("serve: stored payload digest mismatch (journal %s, disk %s)", j.sha, sum)
+	var log *trace.Log
+	var size int64
+	f, err := os.Open(s.payloadPath(j.id))
+	if err == nil {
+		defer f.Close()
+		hash := sha256.New()
+		size, err = io.Copy(hash, f)
+		if err == nil && j.sha != "" {
+			if sum := hex.EncodeToString(hash.Sum(nil)); sum != j.sha {
+				err = fmt.Errorf("serve: stored payload digest mismatch (journal %s, disk %s)", j.sha, sum)
+			}
 		}
 	}
-	var log *trace.Log
 	if err == nil {
 		gerr := sched.Guard(s.reg, func() error {
+			var faults []trace.ThreadFault
 			var derr error
-			log, derr = core.DecodeLog(data)
+			log, faults, derr = core.DecodeLogFrom(f, size, core.DecodeOptions{
+				Salvage: true, Metrics: s.reg,
+			})
+			for _, tf := range faults {
+				s.reg.Logger().Warn("resume: thread segment salvaged",
+					"id", j.id, "segment", tf.Segment, "tid", tf.TID, "err", tf.Err.Error())
+			}
 			return derr
 		})
 		err = gerr
@@ -605,24 +621,21 @@ func (s *Server) payloadPath(id string) string {
 	return filepath.Join(s.cfg.DataDir, "jobs", id+".rlog")
 }
 
-// persistAccept makes an accepted upload durable: payload via atomic
-// tmp+rename, then the journal's accept record, then fsync — only after
-// all of it does the 202 go out.
-func (s *Server) persistAccept(j *job, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Join(s.cfg.DataDir, "jobs"), "up-*.tmp")
-	if err != nil {
-		return err
+// persistAccept makes an accepted upload durable: the already-spooled
+// payload is fsynced and atomically renamed into jobs/, then the
+// journal's accept record lands — only after all of it does the 202 go
+// out. The upload body itself was streamed into the spool as it
+// arrived, so nothing here is proportional to its size.
+func (s *Server) persistAccept(j *job, spool *os.File) error {
+	spoolName := spool.Name()
+	serr := spool.Sync()
+	cerr := spool.Close()
+	if serr != nil || cerr != nil {
+		os.Remove(spoolName)
+		return fmt.Errorf("serve: persisting upload: %w", firstErr(serr, cerr))
 	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	serr := tmp.Sync()
-	cerr := tmp.Close()
-	if werr != nil || serr != nil || cerr != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("serve: persisting upload: %w", firstErr(werr, serr, cerr))
-	}
-	if err := os.Rename(tmpName, s.payloadPath(j.id)); err != nil {
-		os.Remove(tmpName)
+	if err := os.Rename(spoolName, s.payloadPath(j.id)); err != nil {
+		os.Remove(spoolName)
 		return err
 	}
 	return s.jnl.append(record{

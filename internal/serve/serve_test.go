@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -513,4 +514,48 @@ func testCtx(t *testing.T) context.Context {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	t.Cleanup(cancel)
 	return ctx
+}
+
+// TestUploadSpoolsNotBuffers: a max-size upload streams into the spool
+// file as it arrives instead of being read into memory, so the ingest
+// path's allocations stay far below the body size. The body is junk
+// that fails the magic sniff, so decode reads five bytes and what's
+// measured is ingest itself, not the decoded log.
+func TestUploadSpoolsNotBuffers(t *testing.T) {
+	const bodySize = 16 << 20
+	srv, err := New(Config{DataDir: t.TempDir(), MaxUploadBytes: bodySize, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start(): a junk upload quarantines at decode, so its verdict is
+	// terminal without workers — and no worker goroutine muddies the
+	// allocation measurement.
+	h := srv.Handler()
+	body := bytes.Repeat([]byte{0x5a}, bodySize)
+
+	serveUpload := func() int {
+		req := httptest.NewRequest("POST", "/v1/upload?label=big.rlog", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	serveUpload() // warm-up: lazily allocated handler state doesn't count
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if code := serveUpload(); code != http.StatusBadRequest {
+		t.Fatalf("junk upload status = %d, want 400", code)
+	}
+	runtime.ReadMemStats(&after)
+	delta := int64(after.TotalAlloc - before.TotalAlloc)
+	if delta > bodySize/4 {
+		t.Fatalf("upload allocated %d bytes handling a %d-byte body; ingest is buffering, not spooling",
+			delta, bodySize)
+	}
+	// The body still made it to disk in full: both uploads quarantined
+	// after spooling every byte.
+	if got := srv.cSpooled.Value(); got != 2*bodySize {
+		t.Fatalf("serve.spooled_bytes = %d, want %d", got, 2*bodySize)
+	}
 }

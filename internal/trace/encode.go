@@ -575,17 +575,15 @@ func Write(w io.Writer, log *Log) error {
 	return err
 }
 
-// Read parses a compressed log from r.
+// Read parses a serialized log from r, dispatching on the sniffed magic:
+// v1 containers (and raw v1 logs) and v2 segmented containers both
+// decode here, so every .rlog consumer accepts either format.
 func Read(r io.Reader) (*Log, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := Decompress(data)
-	if err != nil {
-		return nil, err
-	}
-	return Unmarshal(raw)
+	return Decode(data)
 }
 
 // SizeStats quantifies a log against the instruction count it covers.

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -39,6 +41,44 @@ func FuzzDecompress(f *testing.F) {
 		raw, err := Decompress(data)
 		if err == nil && !bytes.Equal(Compress(raw)[:5], []byte("RRLZ1")) {
 			t.Fatal("recompress lost magic")
+		}
+	})
+}
+
+// FuzzDecodeV2: the segmented container decoder must be total in both
+// strict and salvaging modes, and any log it accepts must validate and
+// survive a v2 re-encode round trip.
+func FuzzDecodeV2(f *testing.F) {
+	intact := MarshalV2(sampleLog())
+	f.Add(intact)
+	f.Add([]byte(fileMagicV2))
+	f.Add([]byte{})
+	f.Add(intact[:len(intact)/2])
+	typed := func(mode string, err error) {
+		var de *DecodeError
+		var ve *ValidateError
+		if !errors.As(err, &de) && !errors.As(err, &ve) {
+			panic(fmt.Sprintf("%s decode returned untyped error %T: %v", mode, err, err))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, _, err := DecodeV2(data, V2Options{}); err != nil {
+			typed("strict", err)
+		}
+		log, _, err := DecodeOpts(data, V2Options{QuarantineThreads: true})
+		if err != nil {
+			typed("salvage", err)
+			return
+		}
+		if err := Validate(log); err != nil {
+			return // salvage may keep a log Validate rejects; callers gate on it
+		}
+		again, faults, err := DecodeOpts(MarshalV2(log), V2Options{})
+		if err != nil || len(faults) != 0 {
+			t.Fatalf("re-encode round trip failed: faults=%v err=%v", faults, err)
+		}
+		if again.Instructions() != log.Instructions() {
+			t.Fatal("round trip changed instruction count")
 		}
 	})
 }

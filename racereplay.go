@@ -391,11 +391,45 @@ func AnalyzeSource(name, src string, seed int64) (*Result, error) {
 	return Analyze(prog, Config{Seed: seed}, Options{Scenario: name, Seed: seed})
 }
 
-// WriteLog serializes and compresses a log.
+// WriteLog serializes and compresses a log (v1 container).
 func WriteLog(w io.Writer, log *Log) error { return trace.Write(w, log) }
 
-// ReadLog parses a log written by WriteLog.
+// LogFormat names an on-disk container format: FormatV1 (whole-log flate
+// container) or FormatV2 (segmented, index-first, parallel decode).
+type LogFormat = trace.Format
+
+const (
+	FormatV1 = trace.FormatV1
+	FormatV2 = trace.FormatV2
+)
+
+// ParseLogFormat validates a -format flag value.
+func ParseLogFormat(s string) (LogFormat, error) { return trace.ParseFormat(s) }
+
+// WriteLogFormat serializes a log to w in the named container format.
+func WriteLogFormat(w io.Writer, log *Log, f LogFormat) error {
+	return trace.WriteFormat(w, log, f)
+}
+
+// ReadLog parses a log written by WriteLog or WriteLogFormat; the
+// container format is sniffed from the magic bytes.
 func ReadLog(r io.Reader) (*Log, error) { return trace.Read(r) }
+
+// ThreadFault names one per-thread segment a salvaging v2 decode
+// dropped: the segment index, the thread it carried, and the typed
+// decode error that condemned it.
+type ThreadFault = trace.ThreadFault
+
+// DecodeOptions configures DecodeLogOpts: v2 segment-decode worker
+// count, thread salvage, and the metrics registry decode counters land
+// in.
+type DecodeOptions = core.DecodeOptions
+
+// DecodeLogOpts decodes one serialized log of either format with v2
+// worker fan-out and optional thread salvage; see core.DecodeOptions.
+func DecodeLogOpts(data []byte, o DecodeOptions) (*Log, []ThreadFault, error) {
+	return core.DecodeLogOpts(data, o)
+}
 
 // ValidateLog checks a decoded log's structural invariants (thread IDs,
 // region endpoints, record indices). A non-nil error is a
@@ -404,6 +438,11 @@ func ValidateLog(log *Log) error { return trace.Validate(log) }
 
 // LogStats measures a log's serialized footprint (§5.1 metrics).
 func LogStats(log *Log) SizeStats { return trace.Stats(log) }
+
+// LogStatsFormat measures a log's footprint in the named container
+// format (v2's RawBytes is the default uncompressed-segment container;
+// its CompressedBytes the per-segment deflated variant).
+func LogStatsFormat(log *Log, f LogFormat) SizeStats { return trace.StatsFormat(log, f) }
 
 // LoadDB reads a race database (missing file = empty database).
 func LoadDB(path string) (*DB, error) { return classify.LoadDB(path) }
