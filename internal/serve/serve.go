@@ -243,6 +243,15 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
+	// Spool files only become payloads via rename in persistAccept; any
+	// up-* left in jobs/ is an upload aborted by a crash. No handler is
+	// live yet, so sweeping here can never race an in-flight upload.
+	for _, pat := range []string{"up-*.spool", "up-*.tmp"} {
+		stale, _ := filepath.Glob(filepath.Join(cfg.DataDir, "jobs", pat))
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
 	reg := cfg.Registry
 	store, err := memostore.Open(filepath.Join(cfg.DataDir, "memo"), memostore.Options{
 		MaxBytes: cfg.MemoMaxBytes, Metrics: reg,

@@ -509,6 +509,38 @@ func TestServeIsDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestStaleSpoolSweep: spool files orphaned by a crash between
+// CreateTemp and the rename into place are removed on the next startup,
+// while real job payloads survive the sweep.
+func TestStaleSpoolSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	jobs := filepath.Join(dataDir, "jobs")
+	if err := os.MkdirAll(jobs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := []string{"up-123456.spool", "up-987654.tmp"}
+	for _, name := range stale {
+		if err := os.WriteFile(filepath.Join(jobs, name), []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := filepath.Join(jobs, "job-000001.rlog")
+	if err := os.WriteFile(payload, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{DataDir: dataDir, Registry: obs.NewRegistry()}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(jobs, name)); !os.IsNotExist(err) {
+			t.Errorf("%s survived startup; stale spools must be swept", name)
+		}
+	}
+	if _, err := os.Stat(payload); err != nil {
+		t.Errorf("job payload swept with the stale spools: %v", err)
+	}
+}
+
 func testCtx(t *testing.T) context.Context {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

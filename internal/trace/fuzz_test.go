@@ -54,6 +54,7 @@ func FuzzDecodeV2(f *testing.F) {
 	f.Add([]byte(fileMagicV2))
 	f.Add([]byte{})
 	f.Add(intact[:len(intact)/2])
+	f.Add(encLenOverflowContainer()) // index encLen wraps the offset sum past 2^64
 	typed := func(mode string, err error) {
 		var de *DecodeError
 		var ve *ValidateError

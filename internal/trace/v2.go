@@ -839,10 +839,13 @@ func parseV2Index(hdr []byte, total int64) (*v2Index, error) {
 			return nil, fail(entryOff, "v2 index", fmt.Errorf("segment %d raw length %d != encoded %d without deflate",
 				i, e.rawLen, e.encLen))
 		}
-		running += e.encLen
-		if running > uint64(total) {
+		// Checked before accumulating so a huge encLen cannot wrap running
+		// past the `> total` guard; running <= total holds on entry, so the
+		// subtraction is safe.
+		if e.encLen > uint64(total)-running {
 			return nil, fail(entryOff, "v2 index", ErrTruncated)
 		}
+		running += e.encLen
 		totalRaw += e.rawLen
 		if totalRaw > MaxRawLogBytes {
 			return nil, fail(entryOff, "v2 index", ErrTooLarge)

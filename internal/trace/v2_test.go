@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -283,6 +285,51 @@ func TestV2IndexCorruptionFailsLog(t *testing.T) {
 		bad[pos] ^= 0xff
 		if _, _, err := DecodeV2(bad, V2Options{QuarantineThreads: true}); err == nil {
 			t.Errorf("index byte %d corrupt: decode accepted", pos)
+		}
+	}
+}
+
+// encLenOverflowContainer crafts a deflated container whose first thread
+// entry carries an encLen of 2^64-off, so accumulating segment offsets
+// wraps the running sum back to 0; the remaining entries are repacked so
+// every pre-wrap-check invariant (packed offsets, final sum landing on
+// the container end) still holds. The index checksum is recomputed, so
+// only the overflow guard can reject it.
+func encLenOverflowContainer() []byte {
+	data := append([]byte(nil), EncodeV2(richLog(), true)...)
+	idx, err := parseV2Index(data, int64(len(data)))
+	if err != nil {
+		panic(err)
+	}
+	entry := func(i int) []byte {
+		return data[v2HeaderLen+i*v2IndexEntryLen : v2HeaderLen+(i+1)*v2IndexEntryLen]
+	}
+	binary.LittleEndian.PutUint64(entry(1)[16:24], -idx.entries[1].off)
+	for i := 2; i < len(idx.entries); i++ {
+		binary.LittleEndian.PutUint64(entry(i)[8:16], 0)
+		binary.LittleEndian.PutUint64(entry(i)[16:24], 0)
+	}
+	last := entry(len(idx.entries) - 1)
+	binary.LittleEndian.PutUint64(last[16:24], uint64(len(data)-idx.areaStart))
+	binary.LittleEndian.PutUint32(data[12:16],
+		crc32.Checksum(data[v2HeaderLen:idx.areaStart], crcTable))
+	return data
+}
+
+// TestV2IndexEncLenOverflow: an index entry whose encoded length wraps
+// the running offset sum past 2^64 must fail with a typed error, never
+// reach segmentPayload with a negative int length (regression: slice
+// bounds panic on a crafted deflated container).
+func TestV2IndexEncLenOverflow(t *testing.T) {
+	data := encLenOverflowContainer()
+	for _, quarantine := range []bool{false, true} {
+		_, _, err := DecodeV2(data, V2Options{QuarantineThreads: quarantine})
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("quarantine=%v: err = %v, want *DecodeError", quarantine, err)
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("quarantine=%v: err = %v, want %v", quarantine, err, ErrTruncated)
 		}
 	}
 }
